@@ -1,0 +1,70 @@
+//! A minimal client: a simulated thread feeding commands to a server loop.
+//!
+//! The paper drives Memcached and Redis with hand-written clients (§7.1).
+//! Here the client is another simulated thread and the wire is a volatile
+//! (host-side) queue — like a socket, it does not survive crashes and is
+//! invisible to the persistency model.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// A key-value command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Command {
+    /// Store `key → value`.
+    Set(u64, u64),
+    /// Look `key` up.
+    Get(u64),
+    /// Delete `key`.
+    Del(u64),
+    /// Shut the server loop down.
+    Quit,
+}
+
+/// A volatile command queue between client and server threads.
+#[derive(Debug, Clone, Default)]
+pub struct Wire {
+    queue: Arc<Mutex<VecDeque<Command>>>,
+}
+
+impl Wire {
+    /// Creates an empty wire.
+    pub fn new() -> Wire {
+        Wire::default()
+    }
+
+    /// Client side: sends a command.
+    pub fn send(&self, cmd: Command) {
+        self.queue.lock().expect("wire lock").push_back(cmd);
+    }
+
+    /// Server side: takes the next command if one is pending.
+    pub fn recv(&self) -> Option<Command> {
+        self.queue.lock().expect("wire lock").pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let w = Wire::new();
+        w.send(Command::Set(1, 2));
+        w.send(Command::Get(1));
+        w.send(Command::Quit);
+        assert_eq!(w.recv(), Some(Command::Set(1, 2)));
+        assert_eq!(w.recv(), Some(Command::Get(1)));
+        assert_eq!(w.recv(), Some(Command::Quit));
+        assert_eq!(w.recv(), None);
+    }
+
+    #[test]
+    fn clone_shares_the_queue() {
+        let w = Wire::new();
+        let w2 = w.clone();
+        w.send(Command::Quit);
+        assert_eq!(w2.recv(), Some(Command::Quit));
+    }
+}

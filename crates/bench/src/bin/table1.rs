@@ -1,0 +1,8 @@
+//! Regenerates Table 1: the Px86sim reordering constraints.
+
+fn main() {
+    println!("Table 1: Reordering constraints in Px86sim");
+    println!("(✓ = order preserved, ✗ = reorderable, CL = preserved only on the same cache line)");
+    println!();
+    print!("{}", px86::render_table1());
+}

@@ -1,0 +1,24 @@
+//! Regenerates Table 2: compiler store optimizations (2a) and the
+//! source-vs-assembly mem-op counts (2b).
+
+use compiler_model::CompilerConfig;
+
+fn main() {
+    println!("Table 2a: store optimizations observed in popular compilers");
+    println!();
+    print!("{}", compiler_model::render_table2a());
+    println!();
+    println!("Table 2b: mem-ops in source vs clang -O3 assembly");
+    println!();
+    println!("{:<12}\t#src-op\t#asm-op", "Prog");
+    let cfg = CompilerConfig::clang_o3_x86();
+    for spec in recipe::all_benchmarks() {
+        let profile = (spec.profile)();
+        println!(
+            "{:<12}\t{}\t{}",
+            spec.name,
+            profile.source_counts().total(),
+            profile.asm_counts(&cfg).total()
+        );
+    }
+}

@@ -1,0 +1,66 @@
+//! Regenerates Table 5: races detected with and without prefix-based
+//! expansion for a single random execution, and Yashme-vs-Jaaru run times.
+
+use bench::{evaluation_suite, table5_row, HARNESS_SEED};
+
+fn main() {
+    println!("Table 5: prefix vs baseline (single random execution, seed {HARNESS_SEED})");
+    println!();
+    println!(
+        "{:<16}\tPrefix\tBaseline\tYashme Time\tJaaru Time",
+        "Benchmark"
+    );
+    let mut total_prefix = 0;
+    let mut total_baseline = 0;
+    for entry in evaluation_suite() {
+        let row = table5_row(&entry, HARNESS_SEED);
+        println!(
+            "{:<16}\t{}\t{}\t{:.3?}\t{:.3?}",
+            row.name, row.prefix, row.baseline, row.yashme_time, row.jaaru_time
+        );
+        total_prefix += row.prefix;
+        total_baseline += row.baseline;
+    }
+    println!();
+    println!(
+        "total: prefix {total_prefix} vs baseline {total_baseline} (paper: 15 vs 3, a ~5x ratio)"
+    );
+    companion_sweep();
+}
+
+/// Companion sweep appended to the single-execution table: with more random
+/// executions the baseline does find the in-window crashes, but prefix
+/// expansion stays far ahead — the §7.3 point that prefixes generalize
+/// executions.
+fn companion_sweep() {
+    use jaaru::ExecMode;
+    use yashme::YashmeConfig;
+    println!();
+    println!("Companion: 20 random executions per benchmark");
+    println!();
+    println!("{:<16}\tPrefix\tBaseline", "Benchmark");
+    let mut total_prefix = 0;
+    let mut total_baseline = 0;
+    for entry in evaluation_suite() {
+        let program = (entry.program)();
+        let prefix = yashme::check(
+            &program,
+            ExecMode::random(20, HARNESS_SEED),
+            YashmeConfig::default(),
+        )
+        .race_labels()
+        .len();
+        let baseline = yashme::check(
+            &program,
+            ExecMode::random(20, HARNESS_SEED),
+            YashmeConfig::baseline(),
+        )
+        .race_labels()
+        .len();
+        println!("{:<16}\t{}\t{}", entry.name, prefix, baseline);
+        total_prefix += prefix;
+        total_baseline += baseline;
+    }
+    println!();
+    println!("total over 20 executions: prefix {total_prefix} vs baseline {total_baseline}");
+}

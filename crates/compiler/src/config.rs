@@ -1,0 +1,197 @@
+//! Compiler, architecture, and optimization-level configuration.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Target architecture of the modelled compiler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Arch {
+    /// x86-64.
+    X86_64,
+    /// ARM64 / AArch64.
+    Arm64,
+}
+
+impl fmt::Display for Arch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Arch::X86_64 => "x86-64",
+            Arch::Arm64 => "ARM64",
+        })
+    }
+}
+
+/// The modelled compiler family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CompilerId {
+    /// GNU gcc (the paper studied version 10.3).
+    Gcc,
+    /// LLVM clang (the paper studied version 11.0).
+    Clang,
+}
+
+impl fmt::Display for CompilerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CompilerId::Gcc => "gcc",
+            CompilerId::Clang => "LLVM-clang",
+        })
+    }
+}
+
+/// Optimization level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum OptLevel {
+    /// `-O0`: no store optimizations.
+    O0,
+    /// `-O1`.
+    O1,
+    /// `-O2`.
+    O2,
+    /// `-O3` (used for the paper's Table 2b study).
+    O3,
+}
+
+impl fmt::Display for OptLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            OptLevel::O0 => "-O0",
+            OptLevel::O1 => "-O1",
+            OptLevel::O2 => "-O2",
+            OptLevel::O3 => "-O3",
+        })
+    }
+}
+
+/// A complete compiler configuration used for lowering.
+///
+/// The flags mirror the optimization classes of §3: store tearing, mem-op
+/// introduction (memset/memcpy/memmove), and store inventing. They are
+/// derived from `(compiler, arch, opt)` by default but can be overridden for
+/// directed experiments (e.g. forcing store inventing on to demonstrate
+/// stash-value persistence).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompilerConfig {
+    /// The compiler family being modelled.
+    pub compiler: CompilerId,
+    /// The target architecture.
+    pub arch: Arch,
+    /// The optimization level.
+    pub opt: OptLevel,
+    /// Whether plain word-size stores may be torn into narrower stores.
+    pub tear_wide_stores: bool,
+    /// Whether runs of zero stores become `memset` and assignment runs
+    /// become `memcpy`/`memmove` (affecting the static pass and the chunk
+    /// granularity of `memset`/`memcpy` lowering).
+    pub introduce_mem_ops: bool,
+    /// Whether the compiler may invent stores (stash temporaries in the
+    /// destination). Off by default: inventing is rarer, and the paper uses
+    /// it to argue byte-size fields are also unsafe.
+    pub invent_stores: bool,
+}
+
+impl CompilerConfig {
+    /// Derives a configuration from compiler, architecture, and opt level.
+    pub fn new(compiler: CompilerId, arch: Arch, opt: OptLevel) -> Self {
+        let optimizing = opt > OptLevel::O0;
+        CompilerConfig {
+            compiler,
+            arch,
+            opt,
+            // gcc on ARM64 tears aligned 64-bit stores at O1+ (Figure 1);
+            // other pairs are modelled as not tearing word-size stores
+            // today, though the language permits it.
+            tear_wide_stores: optimizing && compiler == CompilerId::Gcc && arch == Arch::Arm64,
+            introduce_mem_ops: optimizing,
+            invent_stores: false,
+        }
+    }
+
+    /// The configuration used in the paper's Table 2b study:
+    /// `clang -O3` for x86-64.
+    pub fn clang_o3_x86() -> Self {
+        CompilerConfig::new(CompilerId::Clang, Arch::X86_64, OptLevel::O3)
+    }
+
+    /// The configuration of the paper's Figure 1: `gcc -O1` for ARM64,
+    /// which tears the 64-bit store.
+    pub fn gcc_o1_arm64() -> Self {
+        CompilerConfig::new(CompilerId::Gcc, Arch::Arm64, OptLevel::O1)
+    }
+
+    /// Returns a copy with store inventing enabled.
+    pub fn with_invented_stores(mut self) -> Self {
+        self.invent_stores = true;
+        self
+    }
+
+    /// Returns a copy with wide-store tearing enabled regardless of target.
+    ///
+    /// Useful for demonstrating that a race flagged by Yashme on one
+    /// compiler/architecture corrupts data when the code moves to another —
+    /// the "library or compiler update may expose a latent persistency race"
+    /// scenario of §3.2.
+    pub fn with_store_tearing(mut self) -> Self {
+        self.tear_wide_stores = true;
+        self
+    }
+}
+
+impl Default for CompilerConfig {
+    /// The default configuration matches the paper's study setup
+    /// ([`CompilerConfig::clang_o3_x86`]).
+    fn default() -> Self {
+        CompilerConfig::clang_o3_x86()
+    }
+}
+
+impl fmt::Display for CompilerConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.compiler, self.opt, self.arch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcc_arm64_tears_at_o1_plus() {
+        assert!(CompilerConfig::new(CompilerId::Gcc, Arch::Arm64, OptLevel::O1).tear_wide_stores);
+        assert!(CompilerConfig::new(CompilerId::Gcc, Arch::Arm64, OptLevel::O3).tear_wide_stores);
+        assert!(!CompilerConfig::new(CompilerId::Gcc, Arch::Arm64, OptLevel::O0).tear_wide_stores);
+        assert!(!CompilerConfig::new(CompilerId::Gcc, Arch::X86_64, OptLevel::O3).tear_wide_stores);
+        assert!(!CompilerConfig::new(CompilerId::Clang, Arch::Arm64, OptLevel::O3).tear_wide_stores);
+    }
+
+    #[test]
+    fn o0_disables_mem_op_introduction() {
+        assert!(!CompilerConfig::new(CompilerId::Clang, Arch::X86_64, OptLevel::O0).introduce_mem_ops);
+        assert!(CompilerConfig::clang_o3_x86().introduce_mem_ops);
+    }
+
+    #[test]
+    fn overrides() {
+        let cfg = CompilerConfig::clang_o3_x86()
+            .with_invented_stores()
+            .with_store_tearing();
+        assert!(cfg.invent_stores);
+        assert!(cfg.tear_wide_stores);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            CompilerConfig::clang_o3_x86().to_string(),
+            "LLVM-clang -O3 x86-64"
+        );
+        assert_eq!(CompilerConfig::gcc_o1_arm64().to_string(), "gcc -O1 ARM64");
+    }
+
+    #[test]
+    fn opt_levels_ordered() {
+        assert!(OptLevel::O0 < OptLevel::O1);
+        assert!(OptLevel::O2 < OptLevel::O3);
+    }
+}

@@ -1,0 +1,54 @@
+//! A model of the compiler store optimizations that cause persistency races.
+//!
+//! Persistency races exist because language standards let compilers assume a
+//! non-atomic store is unobserved until the next synchronization operation,
+//! which licenses **store tearing** (one source store → several store
+//! instructions), **mem-op introduction** (runs of stores → `memset` /
+//! `memcpy` / `memmove` calls, which give no 64-bit atomicity guarantee), and
+//! **store inventing** (temporarily stashing intermediate values in the
+//! destination). §3.2 of the paper studies gcc 10.3 and clang 11.0 and finds
+//! these optimizations on both x86-64 and ARM64 (Table 2a), and counts the
+//! mem-ops that appear in the benchmarks' assembly versus their source
+//! (Table 2b).
+//!
+//! This crate substitutes for those real compilers:
+//!
+//! * [`CompilerConfig::lower_store`] performs the *runtime* lowering used by
+//!   the execution engine — splitting plain stores into the instruction-level
+//!   chunks the configured compiler/architecture could emit, so torn values
+//!   are observable post-crash (the Figure 1 demo);
+//! * [`compile_unit`] performs the *static* coalescing pass over a
+//!   benchmark's source profile, regenerating the Table 2b counts;
+//! * [`observed_optimizations`] records the Table 2a rule matrix.
+//!
+//! # Examples
+//!
+//! ```
+//! use compiler_model::{Arch, CompilerConfig, CompilerId, OptLevel};
+//! use pmem::Addr;
+//! use px86::Atomicity;
+//!
+//! // gcc -O1 on ARM64 tears an aligned 64-bit store into two 32-bit stores.
+//! let cfg = CompilerConfig::new(CompilerId::Gcc, Arch::Arm64, OptLevel::O1);
+//! let chunks = cfg.lower_store(Addr(0x1000), &0x1234_5678_1234_5678u64.to_le_bytes(),
+//!                              Atomicity::Plain);
+//! assert_eq!(chunks.len(), 2);
+//!
+//! // An atomic store is never torn.
+//! let chunks = cfg.lower_store(Addr(0x1000), &1u64.to_le_bytes(),
+//!                              Atomicity::ReleaseAcquire);
+//! assert_eq!(chunks.len(), 1);
+//! ```
+
+mod config;
+mod lower;
+mod profile;
+mod rules;
+
+pub use config::{Arch, CompilerConfig, CompilerId, OptLevel};
+pub use lower::StoreChunk;
+pub use profile::{
+    compile_unit, MemOpCounts, SourceProfile, SourceUnit, MEMCPY_THRESHOLD_WORDS,
+    MEMSET_THRESHOLD_WORDS,
+};
+pub use rules::{observed_optimizations, render_table2a, StoreOptimization};

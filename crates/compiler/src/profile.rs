@@ -1,0 +1,284 @@
+//! Static source profiles and the Table 2b counting pass.
+//!
+//! The paper's Table 2b compares the number of `memset`/`memcpy`/`memmove`
+//! operations in each benchmark's *source code* with the number in the
+//! *assembly* clang -O3 generates. Each benchmark port in this repository
+//! declares a [`SourceProfile`] describing its store-heavy code regions
+//! (constructors, node initializers, entry-shifting loops); [`compile_unit`]
+//! applies the modelled optimizer to each region and the counts are summed
+//! to regenerate the table.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::{CompilerConfig, CompilerId};
+
+/// A source-level construct relevant to mem-op counting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SourceUnit {
+    /// An explicit `memset` call in the source, covering `words` 8-byte
+    /// words.
+    ExplicitMemset {
+        /// Words covered.
+        words: u64,
+    },
+    /// An explicit `memcpy` call in the source.
+    ExplicitMemcpy {
+        /// Words covered.
+        words: u64,
+    },
+    /// An explicit `memmove` call in the source.
+    ExplicitMemmove {
+        /// Words covered.
+        words: u64,
+    },
+    /// A run of `words` adjacent plain stores of zero (e.g. zero-initializing
+    /// the fields of a node). Candidates for memset introduction.
+    ZeroStoreRun {
+        /// Length of the run in words.
+        words: u64,
+    },
+    /// A run of `words` adjacent plain assignments (e.g. copying a key range
+    /// while splitting a node). Candidates for memcpy/memmove introduction.
+    AssignRun {
+        /// Length of the run in words.
+        words: u64,
+    },
+    /// Atomic or `volatile` stores: never coalesced into mem-ops. P-CLHT's
+    /// critical stores are declared volatile, which is why its row in
+    /// Table 2b is 0/0 (§3.2).
+    AtomicStores {
+        /// Number of stores.
+        count: u64,
+    },
+    /// Stores to non-adjacent locations: not coalescible.
+    ScatteredStores {
+        /// Number of stores.
+        count: u64,
+    },
+}
+
+/// Counts of mem-operations, per kind.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemOpCounts {
+    /// Number of `memset` operations.
+    pub memset: u64,
+    /// Number of `memcpy` operations.
+    pub memcpy: u64,
+    /// Number of `memmove` operations.
+    pub memmove: u64,
+}
+
+impl MemOpCounts {
+    /// Total mem-operations of all kinds.
+    pub fn total(&self) -> u64 {
+        self.memset + self.memcpy + self.memmove
+    }
+
+    /// Component-wise sum.
+    pub fn add(&mut self, other: MemOpCounts) {
+        self.memset += other.memset;
+        self.memcpy += other.memcpy;
+        self.memmove += other.memmove;
+    }
+}
+
+/// The mem-op-relevant source description of one benchmark.
+///
+/// `regions` groups [`SourceUnit`]s into straight-line code regions (a
+/// constructor body, a split loop, ...); coalescing never crosses region
+/// boundaries.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SourceProfile {
+    /// Benchmark name as printed in Table 2b.
+    pub name: String,
+    /// Straight-line code regions.
+    pub regions: Vec<Vec<SourceUnit>>,
+}
+
+impl SourceProfile {
+    /// Creates a profile.
+    pub fn new(name: impl Into<String>, regions: Vec<Vec<SourceUnit>>) -> Self {
+        SourceProfile {
+            name: name.into(),
+            regions,
+        }
+    }
+
+    /// Mem-ops appearing in the source (`#src-op` column of Table 2b).
+    pub fn source_counts(&self) -> MemOpCounts {
+        let mut counts = MemOpCounts::default();
+        for region in &self.regions {
+            for unit in region {
+                match unit {
+                    SourceUnit::ExplicitMemset { .. } => counts.memset += 1,
+                    SourceUnit::ExplicitMemcpy { .. } => counts.memcpy += 1,
+                    SourceUnit::ExplicitMemmove { .. } => counts.memmove += 1,
+                    _ => {}
+                }
+            }
+        }
+        counts
+    }
+
+    /// Mem-ops appearing in the generated assembly (`#asm-op` column).
+    pub fn asm_counts(&self, cfg: &CompilerConfig) -> MemOpCounts {
+        let mut counts = MemOpCounts::default();
+        for region in &self.regions {
+            counts.add(compile_unit(region, cfg));
+        }
+        counts
+    }
+}
+
+/// Minimum zero-run length (in words) the optimizer turns into a `memset`.
+pub const MEMSET_THRESHOLD_WORDS: u64 = 3;
+
+/// Minimum assignment-run length (in words) turned into `memcpy`/`memmove`.
+pub const MEMCPY_THRESHOLD_WORDS: u64 = 2;
+
+/// Applies the modelled optimizer to one straight-line region and counts the
+/// mem-ops in the result.
+///
+/// Rules (all gated on
+/// [`introduce_mem_ops`](crate::CompilerConfig::introduce_mem_ops); with it
+/// off, explicit calls pass through unchanged and nothing is introduced):
+///
+/// * maximal runs of *adjacent explicit `memset`s* merge into one `memset`
+///   (how P-ART's 14 constructor memsets become 3, §3.2);
+/// * a [`SourceUnit::ZeroStoreRun`] of at least
+///   [`MEMSET_THRESHOLD_WORDS`] becomes a `memset`;
+/// * a [`SourceUnit::AssignRun`] of at least [`MEMCPY_THRESHOLD_WORDS`]
+///   becomes a `memcpy` (clang) or `memmove` (gcc, Table 2a);
+/// * atomic/volatile and scattered stores are never converted.
+pub fn compile_unit(region: &[SourceUnit], cfg: &CompilerConfig) -> MemOpCounts {
+    let mut counts = MemOpCounts::default();
+    if !cfg.introduce_mem_ops {
+        for unit in region {
+            match unit {
+                SourceUnit::ExplicitMemset { .. } => counts.memset += 1,
+                SourceUnit::ExplicitMemcpy { .. } => counts.memcpy += 1,
+                SourceUnit::ExplicitMemmove { .. } => counts.memmove += 1,
+                _ => {}
+            }
+        }
+        return counts;
+    }
+    let mut in_memset_run = false;
+    for unit in region {
+        let continues_memset_run = matches!(unit, SourceUnit::ExplicitMemset { .. });
+        match unit {
+            SourceUnit::ExplicitMemset { .. } => {
+                if !in_memset_run {
+                    counts.memset += 1; // first of a merged run
+                }
+            }
+            SourceUnit::ExplicitMemcpy { .. } => counts.memcpy += 1,
+            SourceUnit::ExplicitMemmove { .. } => counts.memmove += 1,
+            SourceUnit::ZeroStoreRun { words } => {
+                if *words >= MEMSET_THRESHOLD_WORDS {
+                    counts.memset += 1;
+                }
+            }
+            SourceUnit::AssignRun { words } => {
+                if *words >= MEMCPY_THRESHOLD_WORDS {
+                    match cfg.compiler {
+                        CompilerId::Clang => counts.memcpy += 1,
+                        CompilerId::Gcc => counts.memmove += 1,
+                    }
+                }
+            }
+            SourceUnit::AtomicStores { .. } | SourceUnit::ScatteredStores { .. } => {}
+        }
+        in_memset_run = continues_memset_run;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Arch, OptLevel};
+    use SourceUnit::*;
+
+    fn clang() -> CompilerConfig {
+        CompilerConfig::clang_o3_x86()
+    }
+
+    #[test]
+    fn zero_runs_become_memset_above_threshold() {
+        let region = vec![ZeroStoreRun { words: 8 }, ZeroStoreRun { words: 2 }];
+        let c = compile_unit(&region, &clang());
+        assert_eq!(c.memset, 1);
+        assert_eq!(c.total(), 1);
+    }
+
+    #[test]
+    fn assign_runs_become_memcpy_on_clang_memmove_on_gcc() {
+        let region = vec![AssignRun { words: 4 }];
+        let c = compile_unit(&region, &clang());
+        assert_eq!((c.memcpy, c.memmove), (1, 0));
+        let gcc = CompilerConfig::new(CompilerId::Gcc, Arch::X86_64, OptLevel::O3);
+        let c = compile_unit(&region, &gcc);
+        assert_eq!((c.memcpy, c.memmove), (0, 1));
+    }
+
+    #[test]
+    fn adjacent_explicit_memsets_merge() {
+        let region = vec![
+            ExplicitMemset { words: 2 },
+            ExplicitMemset { words: 2 },
+            ExplicitMemset { words: 2 },
+        ];
+        assert_eq!(compile_unit(&region, &clang()).memset, 1);
+        // Separated by another unit: no merge.
+        let region = vec![
+            ExplicitMemset { words: 2 },
+            ScatteredStores { count: 1 },
+            ExplicitMemset { words: 2 },
+        ];
+        assert_eq!(compile_unit(&region, &clang()).memset, 2);
+    }
+
+    #[test]
+    fn atomic_and_scattered_stores_never_convert() {
+        let region = vec![AtomicStores { count: 50 }, ScatteredStores { count: 50 }];
+        assert_eq!(compile_unit(&region, &clang()).total(), 0);
+    }
+
+    #[test]
+    fn o0_passes_explicit_ops_through() {
+        let cfg = CompilerConfig::new(CompilerId::Clang, Arch::X86_64, OptLevel::O0);
+        let region = vec![
+            ExplicitMemset { words: 2 },
+            ExplicitMemset { words: 2 },
+            ZeroStoreRun { words: 100 },
+        ];
+        let c = compile_unit(&region, &cfg);
+        assert_eq!(c.memset, 2); // no merging, no introduction
+    }
+
+    #[test]
+    fn profile_sums_regions() {
+        let p = SourceProfile::new(
+            "toy",
+            vec![
+                vec![ExplicitMemset { words: 4 }, ZeroStoreRun { words: 4 }],
+                vec![AssignRun { words: 4 }],
+            ],
+        );
+        assert_eq!(p.source_counts().total(), 1);
+        let asm = p.asm_counts(&clang());
+        assert_eq!(asm.memset, 2);
+        assert_eq!(asm.memcpy, 1);
+        assert_eq!(asm.total(), 3);
+    }
+
+    #[test]
+    fn p_clht_shape_volatile_stores_yield_zero() {
+        // The P-CLHT row of Table 2b: lock-free design with volatile
+        // critical stores → 0 source ops, 0 assembly ops.
+        let p = SourceProfile::new("P-CLHT", vec![vec![AtomicStores { count: 40 }]]);
+        assert_eq!(p.source_counts().total(), 0);
+        assert_eq!(p.asm_counts(&clang()).total(), 0);
+    }
+}

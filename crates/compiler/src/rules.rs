@@ -1,0 +1,146 @@
+//! Table 2a: store optimizations observed in popular compilers.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::{Arch, CompilerId};
+
+/// A store optimization class that can lead to persistency races (§3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StoreOptimization {
+    /// Use a non-atomic pair of stores for a 64-bit store.
+    NonAtomicStorePair,
+    /// Replace a sequence of stores of zero with a `memset`.
+    ZeroRunToMemset,
+    /// Replace a sequence of assignments with a `memmove` or `memcpy`.
+    AssignRunToMemmoveOrMemcpy,
+    /// Replace a sequence of assignments with a `memcpy`.
+    AssignRunToMemcpy,
+    /// Replace a sequence of assignments with a `memmove`.
+    AssignRunToMemmove,
+}
+
+impl fmt::Display for StoreOptimization {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            StoreOptimization::NonAtomicStorePair => {
+                "Use a non-atomic pair of stores for a 64-bit store"
+            }
+            StoreOptimization::ZeroRunToMemset => {
+                "Replace a seq. of stores of zero with a memset"
+            }
+            StoreOptimization::AssignRunToMemmoveOrMemcpy => {
+                "Replace a seq. of assignments with a memmove or memcpy"
+            }
+            StoreOptimization::AssignRunToMemcpy => {
+                "Replace a seq. of assignments with a memcpy"
+            }
+            StoreOptimization::AssignRunToMemmove => {
+                "Replace a seq. of assignments with a memmove"
+            }
+        })
+    }
+}
+
+/// The store optimizations the paper's study observed for a given compiler
+/// and architecture (Table 2a).
+pub fn observed_optimizations(compiler: CompilerId, arch: Arch) -> Vec<StoreOptimization> {
+    use StoreOptimization::*;
+    match (compiler, arch) {
+        (CompilerId::Gcc, Arch::Arm64) => vec![
+            NonAtomicStorePair,
+            ZeroRunToMemset,
+            AssignRunToMemmoveOrMemcpy,
+        ],
+        (CompilerId::Clang, Arch::Arm64) => vec![ZeroRunToMemset, AssignRunToMemmoveOrMemcpy],
+        (CompilerId::Clang, Arch::X86_64) => vec![ZeroRunToMemset, AssignRunToMemcpy],
+        (CompilerId::Gcc, Arch::X86_64) => vec![AssignRunToMemmove],
+    }
+}
+
+/// Renders the six rows of Table 2a.
+pub fn render_table2a() -> String {
+    let mut out = String::from("Compiler\tArch\tStore Optimizations\n");
+    let rows: [(&str, Arch, StoreOptimization); 6] = [
+        ("gcc", Arch::Arm64, StoreOptimization::NonAtomicStorePair),
+        (
+            "gcc & LLVM-clang",
+            Arch::Arm64,
+            StoreOptimization::ZeroRunToMemset,
+        ),
+        (
+            "gcc & LLVM-clang",
+            Arch::Arm64,
+            StoreOptimization::AssignRunToMemmoveOrMemcpy,
+        ),
+        (
+            "LLVM-clang",
+            Arch::X86_64,
+            StoreOptimization::ZeroRunToMemset,
+        ),
+        (
+            "LLVM-clang",
+            Arch::X86_64,
+            StoreOptimization::AssignRunToMemcpy,
+        ),
+        ("gcc", Arch::X86_64, StoreOptimization::AssignRunToMemmove),
+    ];
+    for (compilers, arch, opt) in rows {
+        out.push_str(&format!("{compilers}\t{arch}\t{opt}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_gcc_arm64_pairs_stores() {
+        for (c, a) in [
+            (CompilerId::Gcc, Arch::X86_64),
+            (CompilerId::Clang, Arch::Arm64),
+            (CompilerId::Clang, Arch::X86_64),
+        ] {
+            assert!(!observed_optimizations(c, a)
+                .contains(&StoreOptimization::NonAtomicStorePair));
+        }
+        assert!(observed_optimizations(CompilerId::Gcc, Arch::Arm64)
+            .contains(&StoreOptimization::NonAtomicStorePair));
+    }
+
+    #[test]
+    fn every_pair_has_some_optimization() {
+        for c in [CompilerId::Gcc, CompilerId::Clang] {
+            for a in [Arch::X86_64, Arch::Arm64] {
+                assert!(
+                    !observed_optimizations(c, a).is_empty(),
+                    "{c} {a} should apply at least one optimization"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn table_2a_has_six_rows() {
+        let rendered = render_table2a();
+        assert_eq!(rendered.lines().count(), 7); // header + 6 rows
+        assert!(rendered.contains("memset"));
+        assert!(rendered.contains("non-atomic pair"));
+    }
+
+    #[test]
+    fn rules_agree_with_lowering_config() {
+        use crate::config::{CompilerConfig, OptLevel};
+        // Table 2a says gcc/ARM64 pairs 64-bit stores; lowering tears there.
+        for c in [CompilerId::Gcc, CompilerId::Clang] {
+            for a in [Arch::X86_64, Arch::Arm64] {
+                let expects_tearing =
+                    observed_optimizations(c, a).contains(&StoreOptimization::NonAtomicStorePair);
+                let cfg = CompilerConfig::new(c, a, OptLevel::O3);
+                assert_eq!(cfg.tear_wide_stores, expects_tearing, "{c} {a}");
+            }
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Extension benchmarks beyond the paper's suite: persistent data
+//! structures written the way a downstream user would, checked with
+//! Yashme, and then *fixed* the way the paper prescribes (§7.2: replace
+//! racing non-atomic stores with atomic release stores — free on x86).
+//!
+//! Each structure comes in two variants selected by [`Variant`]:
+//!
+//! * [`Variant::Racy`] — publish pointers/indices are plain stores, the
+//!   natural first draft; Yashme flags them.
+//! * [`Variant::Fixed`] — the same stores made atomic release stores (and
+//!   read with acquire loads); Yashme reports nothing.
+
+pub mod pqueue;
+pub mod pskiplist;
+
+/// Which store discipline a structure uses for its publish fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// Plain (non-atomic) publish stores: has persistency races.
+    Racy,
+    /// Atomic release publish stores: race-free.
+    Fixed,
+}
+
+impl Variant {
+    pub(crate) fn atomicity(self) -> jaaru::Atomicity {
+        match self {
+            Variant::Racy => jaaru::Atomicity::Plain,
+            Variant::Fixed => jaaru::Atomicity::ReleaseAcquire,
+        }
+    }
+}

@@ -1,0 +1,358 @@
+//! The execution engine: drives programs through crash-separated phases in
+//! model-checking or random mode.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::ctx::spawn_task;
+use crate::mem::{MemState, PersistencePolicy};
+use crate::report::{RaceReport, RunReport};
+use crate::sched::{Core, SchedPolicy, Shared};
+use crate::sink::{EventSink, NullSink};
+use crate::Program;
+
+/// Configuration of model-checking mode: systematic crash injection before
+/// every flush/fence point of the pre-crash phase.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ModelCheckConfig {
+    /// Also enumerate crash points inside the recovery (phase 1) — finds
+    /// bugs in recovery code at the cost of more executions.
+    pub crash_in_recovery: bool,
+}
+
+/// Configuration of random mode.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomConfig {
+    /// Number of random executions to run.
+    pub executions: usize,
+    /// Seed for schedules, eviction timing, crash placement, and persistence
+    /// cuts.
+    pub seed: u64,
+}
+
+impl Default for RandomConfig {
+    fn default() -> Self {
+        RandomConfig {
+            executions: 20,
+            seed: 0xCA5E ^ 0x9E37_79B9,
+        }
+    }
+}
+
+/// The engine's operating mode (§4: "Yashme has two modes of operation").
+#[derive(Debug, Clone, Copy)]
+pub enum ExecMode {
+    /// Explore an injected crash before every flush/fence point.
+    ModelCheck(ModelCheckConfig),
+    /// Random schedules, eviction timing, and crash placement.
+    Random(RandomConfig),
+}
+
+impl ExecMode {
+    /// Model checking with default configuration.
+    pub fn model_check() -> Self {
+        ExecMode::ModelCheck(ModelCheckConfig::default())
+    }
+
+    /// Random mode with `executions` runs from `seed`.
+    pub fn random(executions: usize, seed: u64) -> Self {
+        ExecMode::Random(RandomConfig { executions, seed })
+    }
+}
+
+/// Outcome of one (multi-phase) simulated run.
+#[derive(Debug, Default)]
+pub struct SingleRun {
+    /// Detector reports drained after the run.
+    pub reports: Vec<RaceReport>,
+    /// Benchmark panic messages (crash symptoms).
+    pub panics: Vec<String>,
+    /// Crash points seen per phase.
+    pub points: Vec<usize>,
+    /// Operation counters across all phases.
+    pub stats: crate::mem::ExecStats,
+}
+
+/// Builds a fresh event sink for each simulated run.
+pub type SinkFactory<'a> = &'a dyn Fn() -> Box<dyn EventSink>;
+
+/// The execution engine.
+///
+/// See the crate docs for an end-to-end example; the highest-level entry
+/// point is [`Engine::run`].
+#[derive(Debug)]
+pub struct Engine;
+
+impl Engine {
+    /// Runs `program` under `mode`, creating a detector per simulated run
+    /// via `sink_factory`, and aggregates de-duplicated reports.
+    pub fn run(program: &Program, mode: ExecMode, sink_factory: SinkFactory<'_>) -> RunReport {
+        let start = Instant::now();
+        let mut all_reports: Vec<RaceReport> = Vec::new();
+        let mut all_panics: Vec<String> = Vec::new();
+        let mut executions = 0usize;
+        let crash_points;
+
+        match mode {
+            ExecMode::ModelCheck(cfg) => {
+                // Profiling run: no injected crash (every phase runs to its
+                // end-of-phase crash); counts the crash points per phase.
+                let profile = Self::run_single(
+                    program,
+                    SchedPolicy::Deterministic,
+                    PersistencePolicy::FullCache,
+                    0,
+                    None,
+                    sink_factory(),
+                );
+                crash_points = profile.points.iter().sum();
+                executions += 1;
+                merge(&mut all_reports, profile.reports);
+                all_panics.extend(profile.panics);
+                let phase0_points = profile.points.first().copied().unwrap_or(0);
+                for t in 0..phase0_points {
+                    let run = Self::run_single(
+                        program,
+                        SchedPolicy::Deterministic,
+                        PersistencePolicy::FullCache,
+                        0,
+                        Some((0, t)),
+                        sink_factory(),
+                    );
+                    executions += 1;
+                    merge(&mut all_reports, run.reports);
+                    all_panics.extend(run.panics);
+                }
+                if cfg.crash_in_recovery {
+                    let phase1_points = profile.points.get(1).copied().unwrap_or(0);
+                    for t in 0..phase1_points {
+                        let run = Self::run_single(
+                            program,
+                            SchedPolicy::Deterministic,
+                            PersistencePolicy::FullCache,
+                            0,
+                            Some((1, t)),
+                            sink_factory(),
+                        );
+                        executions += 1;
+                        merge(&mut all_reports, run.reports);
+                        all_panics.extend(run.panics);
+                    }
+                }
+            }
+            ExecMode::Random(cfg) => {
+                // One profiling run estimates the crash-point count.
+                let profile = Self::run_single(
+                    program,
+                    SchedPolicy::RandomChoice,
+                    PersistencePolicy::Random,
+                    cfg.seed,
+                    None,
+                    sink_factory(),
+                );
+                crash_points = profile.points.iter().sum();
+                let est = profile.points.first().copied().unwrap_or(0);
+                let mut top_rng = StdRng::seed_from_u64(cfg.seed);
+                for e in 0..cfg.executions {
+                    let seed_e = cfg.seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(e as u64 + 1));
+                    let target = if est > 0 {
+                        let t = top_rng.gen_range(0..=est);
+                        (t < est).then_some((0usize, t))
+                    } else {
+                        None
+                    };
+                    let run = Self::run_single(
+                        program,
+                        SchedPolicy::RandomChoice,
+                        PersistencePolicy::Random,
+                        seed_e,
+                        target,
+                        sink_factory(),
+                    );
+                    executions += 1;
+                    merge(&mut all_reports, run.reports);
+                    all_panics.extend(run.panics);
+                }
+            }
+        }
+
+        RunReport::new(
+            all_reports,
+            executions,
+            crash_points,
+            all_panics,
+            start.elapsed(),
+        )
+    }
+
+    /// Runs `program` once under model-checking defaults with no detector —
+    /// the plain-Jaaru baseline for overhead measurements (Table 5).
+    pub fn run_plain(program: &Program, seed: u64) -> SingleRun {
+        Self::run_single(
+            program,
+            SchedPolicy::RandomChoice,
+            PersistencePolicy::Random,
+            seed,
+            None,
+            Box::new(NullSink),
+        )
+    }
+
+    /// Exhaustively explores thread interleavings: runs `program` once per
+    /// distinct schedule (depth-first over branch points where more than
+    /// one task is runnable), bounded by `max_runs`. An extension beyond
+    /// the paper's Yashme, which notes it "does not exhaustively explore
+    /// the space of schedules" (§6).
+    ///
+    /// Returns the de-duplicated reports and the number of schedules run.
+    pub fn explore_schedules(
+        program: &Program,
+        crash_target: Option<(usize, usize)>,
+        sink_factory: SinkFactory<'_>,
+        max_runs: usize,
+    ) -> (Vec<RaceReport>, usize) {
+        // Breadth-first over branch points: alternatives at *early* branch
+        // points diverge most, so they are explored first under a bound.
+        let mut pending: std::collections::VecDeque<Vec<usize>> =
+            std::collections::VecDeque::from([Vec::new()]);
+        let mut reports: Vec<RaceReport> = Vec::new();
+        let mut runs = 0usize;
+        while let Some(script) = pending.pop_front() {
+            if runs >= max_runs {
+                break;
+            }
+            runs += 1;
+            let prefix_len = script.len();
+            let (run, log) = Self::run_inner(
+                program,
+                SchedPolicy::Scripted,
+                PersistencePolicy::FullCache,
+                0,
+                crash_target,
+                sink_factory(),
+                script,
+            );
+            merge(&mut reports, run.reports);
+            // Branch: every not-yet-tried alternative at or past the forced
+            // prefix spawns a new script.
+            for i in prefix_len..log.len() {
+                let (chosen, n) = log[i];
+                for alt in chosen + 1..n {
+                    let mut next: Vec<usize> = log[..i].iter().map(|&(c, _)| c).collect();
+                    next.push(alt);
+                    pending.push_back(next);
+                }
+            }
+        }
+        (reports, runs)
+    }
+
+    /// Runs every phase of `program` once with the given scheduling policy,
+    /// persistence policy, seed, and optional `(phase, point)` crash target.
+    pub fn run_single(
+        program: &Program,
+        policy: SchedPolicy,
+        persistence: PersistencePolicy,
+        seed: u64,
+        crash_target: Option<(usize, usize)>,
+        sink: Box<dyn EventSink>,
+    ) -> SingleRun {
+        Self::run_inner(program, policy, persistence, seed, crash_target, sink, Vec::new()).0
+    }
+
+    /// [`Engine::run_single`] plus schedule scripting: returns the branch
+    ///-point choice log alongside the outcome.
+    fn run_inner(
+        program: &Program,
+        policy: SchedPolicy,
+        persistence: PersistencePolicy,
+        seed: u64,
+        crash_target: Option<(usize, usize)>,
+        sink: Box<dyn EventSink>,
+        script: Vec<usize>,
+    ) -> (SingleRun, Vec<(usize, usize)>) {
+        install_quiet_panic_hook();
+        let mem = MemState::new(program.compiler(), program.heap_bytes());
+        let shared = Arc::new(Shared::new(mem, sink, policy, StdRng::seed_from_u64(seed)));
+        shared.with_core(|core| core.sched.script = script);
+        let mut points = Vec::with_capacity(program.phases().len());
+
+        for (i, phase) in program.phases().iter().enumerate() {
+            shared.with_core(|core| {
+                core.crash.seen = 0;
+                core.crash.target = match crash_target {
+                    Some((p, idx)) if p == i => Some(idx),
+                    _ => None,
+                };
+                core.sched.crashed = false;
+                let exec = core.mem.cur.id;
+                core.sink.on_execution_start(exec);
+            });
+            let tid = shared.with_core(|core| {
+                let t = core.mem.register_thread(None);
+                core.sched.register(t);
+                t
+            });
+            let body = phase.clone();
+            spawn_task(shared.clone(), tid, move |ctx| body(ctx));
+            shared.wait_all_tasks();
+            shared.with_core(|core| {
+                points.push(core.crash.seen);
+                if !core.sched.crashed {
+                    // End-of-phase power loss.
+                    let exec = core.mem.cur.id;
+                    core.sink.on_crash(exec);
+                }
+                let Core { mem, rng, .. } = core;
+                mem.crash(persistence, rng);
+            });
+        }
+
+        shared.with_core(|core| {
+            (
+                SingleRun {
+                    reports: core.sink.drain_reports(),
+                    panics: std::mem::take(&mut core.panics),
+                    points: std::mem::take(&mut points),
+                    stats: core.mem.stats,
+                },
+                std::mem::take(&mut core.sched.choice_log),
+            )
+        })
+    }
+}
+
+/// Merges `new` into `acc`, de-duplicating by `(kind, label)`.
+fn merge(acc: &mut Vec<RaceReport>, new: Vec<RaceReport>) {
+    for r in new {
+        if !acc
+            .iter()
+            .any(|e| e.kind() == r.kind() && e.label() == r.label())
+        {
+            acc.push(r);
+        }
+    }
+}
+
+/// Installs (once) a panic hook that silences panics originating in
+/// simulated task threads — crash unwinds and injected-fault symptoms are
+/// expected there and would otherwise flood stderr.
+fn install_quiet_panic_hook() {
+    use std::sync::Once;
+    static INIT: Once = Once::new();
+    INIT.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let quiet = std::thread::current()
+                .name()
+                .map(|n| n.starts_with("jaaru-task-"))
+                .unwrap_or(false);
+            if !quiet {
+                prev(info);
+            }
+        }));
+    });
+}

@@ -1,0 +1,950 @@
+//! The simulated memory system: store buffers, cache, persistent image, and
+//! the execution stack.
+//!
+//! This module implements the storage-system side of §6: instruction
+//! execution inserts entries into per-thread store buffers (Fig. 7), buffer
+//! eviction takes effect on the cache and assigns global sequence numbers
+//! (Fig. 8), and a crash discards the buffers and the volatile cache,
+//! materializing into the persistent image a per-line *prefix* of the
+//! committed stores (cache coherence guarantees persistence is prefix-closed
+//! per line, §4.1).
+
+use std::collections::HashMap;
+
+use compiler_model::CompilerConfig;
+use pmem::{Addr, CacheLineId, PmAllocator, PmImage};
+use px86::{Atomicity, FbEntry, FlushBuffer, SbEntry, SbStore, StoreBuffer};
+use rand::rngs::StdRng;
+use rand::Rng;
+use vclock::{ThreadId, VectorClock};
+
+use crate::event::{EventId, ExecId, FlushEvent, FlushKind, Label, LoadInfo, StoreEvent};
+use crate::sink::EventSink;
+
+/// Size of the root region at [`Addr::BASE`], reserved for well-known
+/// pointers and metadata. The allocator arena starts after it, so a program
+/// can stash its structure roots at fixed addresses that recovery code finds
+/// again without re-allocating (the analogue of a PM pool's root object).
+pub const ROOT_REGION_BYTES: u64 = 4096;
+
+/// How the engine chooses, per cache line, how much of the committed store
+/// sequence persisted at a crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PersistencePolicy {
+    /// Every committed store persisted (the cache was fully written back at
+    /// the instant of the crash). Maximizes the data recovery code can see.
+    #[default]
+    FullCache,
+    /// Only explicitly flushed data persisted (the adversarial floor).
+    FloorOnly,
+    /// A uniformly random per-line cut between the floor and the full cache.
+    /// This is what makes torn values observable: a cut between the chunks
+    /// of a torn store persists some chunks and not others.
+    Random,
+}
+
+/// Per-execution storage state: the volatile cache and its bookkeeping.
+#[derive(Debug, Default)]
+pub struct ExecState {
+    /// This execution's id.
+    pub id: ExecId,
+    /// Committed (cache) bytes.
+    cache: PmImage,
+    /// `storemap`: the most recent committed store covering each byte.
+    store_map: HashMap<Addr, EventId>,
+    /// Committed stores per line, in cache (seq) order.
+    line_order: HashMap<CacheLineId, Vec<EventId>>,
+    /// Per line, the length of the `line_order` prefix that is *definitely*
+    /// persisted (forced by committed `clflush` / fenced `clwb`).
+    persisted_upto: HashMap<CacheLineId, usize>,
+}
+
+impl ExecState {
+    fn new(id: ExecId) -> Self {
+        ExecState {
+            id,
+            ..ExecState::default()
+        }
+    }
+}
+
+/// The complete simulated memory system for one engine run.
+pub struct MemState {
+    /// Compiler model used to lower source-level stores.
+    pub compiler: CompilerConfig,
+    /// Event table: all store events, across executions.
+    events: HashMap<EventId, StoreEvent>,
+    /// Flush events (clflush/clwb), across executions.
+    flushes: HashMap<EventId, FlushEvent>,
+    next_event: EventId,
+    next_seq: u64,
+    // Per-thread machine state (indexed by ThreadId).
+    sbs: Vec<StoreBuffer>,
+    fbs: Vec<FlushBuffer>,
+    cvs: Vec<VectorClock>,
+    /// For each clwb sitting in a flush buffer: the line-order length at the
+    /// moment it exited the store buffer (its guaranteed write-back point).
+    clwb_marks: HashMap<EventId, usize>,
+    /// For each sfence still buffered: its execution-time clock vector
+    /// (Fig. 8's `Evict_FB` takes the *fence's* CV, which must be captured
+    /// when the sfence executes, not when it drains).
+    fence_cvs: HashMap<EventId, VectorClock>,
+    /// Current execution.
+    pub cur: ExecState,
+    /// Crashed executions, oldest first.
+    pub past: Vec<ExecState>,
+    /// Persistent storage contents.
+    image: PmImage,
+    /// Provenance: which store event produced each persisted byte.
+    image_prov: HashMap<Addr, EventId>,
+    /// The persistent-heap allocator (survives crashes; see crate docs).
+    pub alloc: PmAllocator,
+    /// Operation counters.
+    pub stats: ExecStats,
+}
+
+impl std::fmt::Debug for MemState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemState")
+            .field("exec", &self.cur.id)
+            .field("events", &self.events.len())
+            .field("threads", &self.cvs.len())
+            .finish()
+    }
+}
+
+/// Counters of simulated operations, for observability and tests.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Instruction-level store events created (post-lowering chunks).
+    pub stores_executed: u64,
+    /// Store events that took effect on the cache.
+    pub stores_committed: u64,
+    /// Loads performed.
+    pub loads: u64,
+    /// `clflush`/`clwb` instructions executed.
+    pub flushes: u64,
+    /// `sfence`/`mfence` instructions executed.
+    pub fences: u64,
+    /// Locked CAS operations executed.
+    pub cas_ops: u64,
+    /// Crashes (executions pushed on the stack).
+    pub crashes: u64,
+}
+
+/// The outcome of a load: the bytes read plus the cross-execution reads that
+/// must be reported to the sink.
+pub struct LoadOutcome {
+    /// The bytes observed.
+    pub bytes: Vec<u8>,
+    /// Distinct prior-execution stores whose bytes were observed.
+    pub chosen: Vec<EventId>,
+    /// All candidate prior-execution stores the load could have observed.
+    pub candidates: Vec<EventId>,
+}
+
+impl MemState {
+    /// Creates a fresh memory system with `heap_bytes` of persistent arena.
+    pub fn new(compiler: CompilerConfig, heap_bytes: u64) -> Self {
+        MemState {
+            compiler,
+            events: HashMap::new(),
+            flushes: HashMap::new(),
+            next_event: 1,
+            next_seq: 1,
+            sbs: Vec::new(),
+            fbs: Vec::new(),
+            cvs: Vec::new(),
+            clwb_marks: HashMap::new(),
+            fence_cvs: HashMap::new(),
+            cur: ExecState::new(0),
+            past: Vec::new(),
+            image: PmImage::new(),
+            image_prov: HashMap::new(),
+            alloc: PmAllocator::new(Addr::BASE + ROOT_REGION_BYTES, heap_bytes),
+            stats: ExecStats::default(),
+        }
+    }
+
+    /// Registers a new thread; `parent` (if any) synchronizes-with the child.
+    pub fn register_thread(&mut self, parent: Option<ThreadId>) -> ThreadId {
+        let tid = ThreadId::new(self.cvs.len() as u32);
+        let mut cv = match parent {
+            Some(p) => {
+                self.cvs[p.as_usize()].tick(p);
+                self.cvs[p.as_usize()].clone()
+            }
+            None => VectorClock::new(),
+        };
+        cv.tick(tid);
+        self.cvs.push(cv);
+        self.sbs.push(StoreBuffer::new());
+        self.fbs.push(FlushBuffer::new());
+        tid
+    }
+
+    /// Join edge: `parent` acquires everything `child` did.
+    pub fn join_thread(&mut self, parent: ThreadId, child: ThreadId) {
+        let child_cv = self.cvs[child.as_usize()].clone();
+        let pcv = &mut self.cvs[parent.as_usize()];
+        pcv.join(&child_cv);
+        pcv.tick(parent);
+    }
+
+    /// The current vector clock of `thread`.
+    pub fn cv(&self, thread: ThreadId) -> &VectorClock {
+        &self.cvs[thread.as_usize()]
+    }
+
+    /// Looks up a store event.
+    pub fn store_event(&self, id: EventId) -> &StoreEvent {
+        &self.events[&id]
+    }
+
+    fn fresh_event_id(&mut self) -> EventId {
+        let id = self.next_event;
+        self.next_event += 1;
+        id
+    }
+
+    fn fresh_seq(&mut self) -> u64 {
+        let s = self.next_seq;
+        self.next_seq += 1;
+        s
+    }
+
+    // ------------------------------------------------------------------
+    // Instruction execution (Fig. 7): insert into the store buffer.
+    // ------------------------------------------------------------------
+
+    /// Executes a source-level store: lowers it through the compiler model
+    /// and inserts the resulting instruction-level chunks into the thread's
+    /// store buffer.
+    pub fn exec_store(
+        &mut self,
+        sink: &mut dyn EventSink,
+        thread: ThreadId,
+        addr: Addr,
+        bytes: &[u8],
+        atomicity: Atomicity,
+        label: Label,
+    ) {
+        let chunks = self.compiler.lower_store(addr, bytes, atomicity);
+        for chunk in chunks {
+            self.push_store_chunks(sink, thread, chunk.addr, &chunk.bytes, atomicity, chunk.invented, label);
+        }
+    }
+
+    /// Executes a `memset`: lowered to non-atomic word chunks.
+    pub fn exec_memset(
+        &mut self,
+        sink: &mut dyn EventSink,
+        thread: ThreadId,
+        addr: Addr,
+        value: u8,
+        len: u64,
+        label: Label,
+    ) {
+        let chunks = self.compiler.lower_memset(addr, value, len);
+        for chunk in chunks {
+            self.push_store_chunks(
+                sink,
+                thread,
+                chunk.addr,
+                &chunk.bytes,
+                Atomicity::Plain,
+                false,
+                label,
+            );
+        }
+    }
+
+    /// Executes a `memcpy`: lowered to non-atomic word chunks.
+    pub fn exec_memcpy(
+        &mut self,
+        sink: &mut dyn EventSink,
+        thread: ThreadId,
+        addr: Addr,
+        data: &[u8],
+        label: Label,
+    ) {
+        let chunks = self.compiler.lower_memcpy(addr, data);
+        for chunk in chunks {
+            self.push_store_chunks(
+                sink,
+                thread,
+                chunk.addr,
+                &chunk.bytes,
+                Atomicity::Plain,
+                false,
+                label,
+            );
+        }
+    }
+
+    /// Pushes one lowered chunk, splitting it at cache-line boundaries so
+    /// each store event lies on a single line.
+    fn push_store_chunks(
+        &mut self,
+        sink: &mut dyn EventSink,
+        thread: ThreadId,
+        addr: Addr,
+        bytes: &[u8],
+        atomicity: Atomicity,
+        invented: bool,
+        label: Label,
+    ) {
+        let mut off = 0usize;
+        while off < bytes.len() {
+            let at = addr + off as u64;
+            let line_end = (at.cache_line().base() + pmem::CACHE_LINE_SIZE) - at;
+            let take = (bytes.len() - off).min(line_end as usize);
+            let clock = self.cvs[thread.as_usize()].tick(thread);
+            let id = self.fresh_event_id();
+            let event = StoreEvent {
+                id,
+                exec: self.cur.id,
+                thread,
+                cv: self.cvs[thread.as_usize()].clone(),
+                clock,
+                atomicity,
+                addr: at,
+                bytes: bytes[off..off + take].to_vec(),
+                invented,
+                label,
+                seq: None,
+            };
+            self.stats.stores_executed += 1;
+            sink.on_store_executed(&event);
+            self.events.insert(id, event);
+            self.sbs[thread.as_usize()].push(SbEntry::Store(SbStore {
+                addr: at,
+                len: take as u64,
+                id,
+            }));
+            off += take;
+        }
+    }
+
+    /// Executes a `clflush` (enters the store buffer).
+    pub fn exec_clflush(&mut self, thread: ThreadId, addr: Addr) {
+        self.stats.flushes += 1;
+        let id = self.push_flush(thread, addr, FlushKind::Clflush);
+        self.sbs[thread.as_usize()].push(SbEntry::Clflush { addr, id });
+    }
+
+    /// Executes a `clwb`/`clflushopt` (enters the store buffer).
+    pub fn exec_clwb(&mut self, thread: ThreadId, addr: Addr) {
+        self.stats.flushes += 1;
+        let id = self.push_flush(thread, addr, FlushKind::Clwb);
+        self.sbs[thread.as_usize()].push(SbEntry::Clwb { addr, id });
+    }
+
+    fn push_flush(&mut self, thread: ThreadId, addr: Addr, kind: FlushKind) -> EventId {
+        let clock = self.cvs[thread.as_usize()].tick(thread);
+        let id = self.fresh_event_id();
+        let event = FlushEvent {
+            id,
+            exec: self.cur.id,
+            thread,
+            cv: self.cvs[thread.as_usize()].clone(),
+            clock,
+            kind,
+            addr,
+            seq: None,
+        };
+        self.flushes.insert(id, event);
+        id
+    }
+
+    /// Executes an `sfence` (enters the store buffer).
+    pub fn exec_sfence(&mut self, thread: ThreadId) {
+        self.stats.fences += 1;
+        self.cvs[thread.as_usize()].tick(thread);
+        let id = self.fresh_event_id();
+        self.fence_cvs
+            .insert(id, self.cvs[thread.as_usize()].clone());
+        self.sbs[thread.as_usize()].push(SbEntry::Sfence { id });
+    }
+
+    /// Executes an `mfence`: drains the thread's store buffer in order, then
+    /// makes the flush buffer persistent (Fig. 7's `Exec_MFENCE`).
+    pub fn exec_mfence(&mut self, sink: &mut dyn EventSink, thread: ThreadId) {
+        self.stats.fences += 1;
+        self.cvs[thread.as_usize()].tick(thread);
+        self.drain_sb(sink, thread);
+        let fence_cv = self.cvs[thread.as_usize()].clone();
+        self.fence_fb(sink, thread, &fence_cv);
+    }
+
+    // ------------------------------------------------------------------
+    // Buffer eviction (Fig. 8): take effect on the cache.
+    // ------------------------------------------------------------------
+
+    /// Positions in `thread`'s store buffer that may legally evict next.
+    pub fn evictable(&self, thread: ThreadId) -> Vec<usize> {
+        self.sbs[thread.as_usize()].evictable_positions()
+    }
+
+    /// Number of entries buffered by `thread`.
+    pub fn sb_len(&self, thread: ThreadId) -> usize {
+        self.sbs[thread.as_usize()].len()
+    }
+
+    /// Threads with non-empty store buffers.
+    pub fn threads_with_buffered_stores(&self) -> Vec<ThreadId> {
+        (0..self.sbs.len())
+            .filter(|&i| !self.sbs[i].is_empty())
+            .map(|i| ThreadId::new(i as u32))
+            .collect()
+    }
+
+    /// Evicts the entry at `position` of `thread`'s store buffer and applies
+    /// its effect on the cache.
+    pub fn evict_one(&mut self, sink: &mut dyn EventSink, thread: ThreadId, position: usize) {
+        let entry = self.sbs[thread.as_usize()].evict(position);
+        self.commit_entry(sink, thread, entry);
+    }
+
+    /// Drains `thread`'s store buffer in program order.
+    pub fn drain_sb(&mut self, sink: &mut dyn EventSink, thread: ThreadId) {
+        while let Some(entry) = self.sbs[thread.as_usize()].evict_head() {
+            self.commit_entry(sink, thread, entry);
+        }
+    }
+
+    /// Drains every thread's store buffer (used before deterministic crash
+    /// injection so recently executed stores are committed-but-unflushed).
+    pub fn drain_all_sbs(&mut self, sink: &mut dyn EventSink) {
+        for i in 0..self.sbs.len() {
+            self.drain_sb(sink, ThreadId::new(i as u32));
+        }
+    }
+
+    fn commit_entry(&mut self, sink: &mut dyn EventSink, thread: ThreadId, entry: SbEntry) {
+        match entry {
+            SbEntry::Store(s) => {
+                let seq = self.fresh_seq();
+                let event = self.events.get_mut(&s.id).expect("store event exists");
+                event.seq = Some(seq);
+                let line = s.addr.cache_line();
+                // Write into the cache and update storemap / line order.
+                let bytes = event.bytes.clone();
+                self.cur.cache.write(s.addr, &bytes);
+                for i in 0..s.len {
+                    self.cur.store_map.insert(s.addr + i, s.id);
+                }
+                self.cur.line_order.entry(line).or_default().push(s.id);
+                self.stats.stores_committed += 1;
+                sink.on_store_committed(&self.events[&s.id]);
+            }
+            SbEntry::Clflush { addr, id } => {
+                let seq = self.fresh_seq();
+                let line = addr.cache_line();
+                let committed = self
+                    .cur
+                    .line_order
+                    .get(&line)
+                    .map(Vec::len)
+                    .unwrap_or(0);
+                let floor = self.cur.persisted_upto.entry(line).or_insert(0);
+                *floor = (*floor).max(committed);
+                let flush = self.flushes.get_mut(&id).expect("flush event exists");
+                flush.seq = Some(seq);
+                let flush = self.flushes[&id].clone();
+                let line_stores = line_store_refs(&self.events, &self.cur.store_map, line);
+                sink.on_clflush_committed(&flush, &line_stores);
+            }
+            SbEntry::Clwb { addr, id } => {
+                let line = addr.cache_line();
+                let committed = self
+                    .cur
+                    .line_order
+                    .get(&line)
+                    .map(Vec::len)
+                    .unwrap_or(0);
+                self.clwb_marks.insert(id, committed);
+                self.fbs[thread.as_usize()].push(FbEntry { addr, id });
+            }
+            SbEntry::Sfence { id } => {
+                let _seq = self.fresh_seq();
+                let fence_cv = self
+                    .fence_cvs
+                    .remove(&id)
+                    .expect("sfence exec CV recorded");
+                self.fence_fb(sink, thread, &fence_cv);
+            }
+        }
+    }
+
+    /// Makes every pending `clwb` of `thread` persistent: `Evict_FB`.
+    fn fence_fb(&mut self, sink: &mut dyn EventSink, thread: ThreadId, fence_cv: &VectorClock) {
+        for fb in self.fbs[thread.as_usize()].take_all() {
+            let line = fb.addr.cache_line();
+            let mark = self.clwb_marks.remove(&fb.id).unwrap_or(0);
+            let floor = self.cur.persisted_upto.entry(line).or_insert(0);
+            *floor = (*floor).max(mark);
+            let clwb = self.flushes[&fb.id].clone();
+            let line_stores = line_store_refs(&self.events, &self.cur.store_map, line);
+            sink.on_clwb_fenced(&clwb, fence_cv, &line_stores);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Loads.
+    // ------------------------------------------------------------------
+
+    /// Performs a load of `len` bytes at `addr`, resolving each byte through
+    /// (1) the thread's store buffer (TSO bypassing), (2) the current
+    /// execution's cache, and (3) the persistent image left by earlier
+    /// executions. Cross-execution reads are collected into the outcome for
+    /// the caller to report to the sink; acquire synchronization is applied
+    /// here.
+    pub fn exec_load(
+        &mut self,
+        thread: ThreadId,
+        addr: Addr,
+        len: u64,
+        atomicity: Atomicity,
+    ) -> LoadOutcome {
+        self.stats.loads += 1;
+        self.cvs[thread.as_usize()].tick(thread);
+        let bypass = self.sbs[thread.as_usize()].bypass_bytes(addr, len);
+        let mut bytes = Vec::with_capacity(len as usize);
+        let mut chosen: Vec<EventId> = Vec::new();
+        let mut same_exec_sources: Vec<EventId> = Vec::new();
+        let mut image_lines: Vec<CacheLineId> = Vec::new();
+        for i in 0..len {
+            let at = addr + i;
+            if let Some(id) = bypass[i as usize] {
+                let ev = &self.events[&id];
+                bytes.push(ev.bytes[(at - ev.addr) as usize]);
+                push_unique(&mut same_exec_sources, id);
+            } else if let Some(&id) = self.cur.store_map.get(&at) {
+                bytes.push(self.cur.cache.read_u8(at));
+                push_unique(&mut same_exec_sources, id);
+            } else {
+                bytes.push(self.image.read_u8(at));
+                if let Some(&id) = self.image_prov.get(&at) {
+                    push_unique(&mut chosen, id);
+                }
+                push_unique(&mut image_lines, at.cache_line());
+            }
+        }
+        // Acquire synchronization from release stores actually read.
+        if atomicity.is_acquire() {
+            let source_cvs: Vec<VectorClock> = same_exec_sources
+                .iter()
+                .chain(chosen.iter())
+                .map(|id| &self.events[id])
+                .filter(|ev| ev.atomicity.is_release())
+                .map(|ev| ev.cv.clone())
+                .collect();
+            for cv in source_cvs {
+                self.cvs[thread.as_usize()].join(&cv);
+            }
+        }
+        // Candidate stores: everything in the most recent crashed
+        // execution's not-definitely-persisted suffix of each touched line
+        // that covers a loaded byte, plus the stores actually observed.
+        let mut candidates = chosen.clone();
+        if let Some(prev) = self.past.last() {
+            for line in image_lines {
+                let order = match prev.line_order.get(&line) {
+                    Some(o) => o,
+                    None => continue,
+                };
+                let floor = prev.persisted_upto.get(&line).copied().unwrap_or(0);
+                for &id in &order[floor.min(order.len())..] {
+                    let ev = &self.events[&id];
+                    if ranges_overlap(ev.addr, ev.len(), addr, len) {
+                        push_unique(&mut candidates, id);
+                    }
+                }
+            }
+        }
+        LoadOutcome {
+            bytes,
+            chosen,
+            candidates,
+        }
+    }
+
+    /// Builds the [`LoadInfo`] describing a load for sink reporting.
+    pub fn load_info(
+        &self,
+        thread: ThreadId,
+        addr: Addr,
+        len: u64,
+        atomicity: Atomicity,
+        label: Label,
+        validated: bool,
+    ) -> LoadInfo {
+        LoadInfo {
+            exec: self.cur.id,
+            thread,
+            addr,
+            len,
+            atomicity,
+            label,
+            validated,
+        }
+    }
+
+    /// Executes a locked compare-and-swap on a 64-bit location.
+    ///
+    /// Locked RMW instructions have `mfence` semantics (§2): the thread's
+    /// store buffer is drained and its flush buffer fenced before the
+    /// operation, and the conditional store takes effect on the cache
+    /// immediately. Returns the observed old value, whether the swap
+    /// happened, and the load outcome for sink reporting.
+    pub fn exec_cas(
+        &mut self,
+        sink: &mut dyn EventSink,
+        thread: ThreadId,
+        addr: Addr,
+        expected: u64,
+        new: u64,
+        label: Label,
+    ) -> (u64, bool, LoadOutcome) {
+        self.stats.cas_ops += 1;
+        self.cvs[thread.as_usize()].tick(thread);
+        self.drain_sb(sink, thread);
+        let fence_cv = self.cvs[thread.as_usize()].clone();
+        self.fence_fb(sink, thread, &fence_cv);
+        let outcome = self.exec_load(thread, addr, 8, Atomicity::ReleaseAcquire);
+        let old = u64::from_le_bytes(outcome.bytes.clone().try_into().expect("8 bytes"));
+        let swapped = old == expected;
+        if swapped {
+            self.push_store_chunks(
+                sink,
+                thread,
+                addr,
+                &new.to_le_bytes(),
+                Atomicity::ReleaseAcquire,
+                false,
+                label,
+            );
+            self.drain_sb(sink, thread);
+        }
+        (old, swapped, outcome)
+    }
+
+    // ------------------------------------------------------------------
+    // Crash.
+    // ------------------------------------------------------------------
+
+    /// Crashes the current execution: store and flush buffers are lost, and
+    /// for each cache line a prefix of its committed stores (at least the
+    /// definitely-persisted floor, at most everything) is written to the
+    /// persistent image per `policy`. Pushes a fresh execution.
+    pub fn crash(&mut self, policy: PersistencePolicy, rng: &mut StdRng) {
+        self.stats.crashes += 1;
+        for sb in &mut self.sbs {
+            sb.clear();
+        }
+        for fb in &mut self.fbs {
+            fb.clear();
+        }
+        self.clwb_marks.clear();
+        self.fence_cvs.clear();
+        let mut lines: Vec<_> = self.cur.line_order.keys().copied().collect();
+        lines.sort(); // determinism of rng consumption
+        for line in lines {
+            let order = &self.cur.line_order[&line];
+            let floor = self.cur.persisted_upto.get(&line).copied().unwrap_or(0);
+            let cut = match policy {
+                PersistencePolicy::FullCache => order.len(),
+                PersistencePolicy::FloorOnly => floor,
+                PersistencePolicy::Random => rng.gen_range(floor..=order.len()),
+            };
+            for &id in &order[..cut] {
+                let ev = &self.events[&id];
+                self.image.write(ev.addr, &ev.bytes);
+                for i in 0..ev.len() {
+                    self.image_prov.insert(ev.addr + i, id);
+                }
+            }
+        }
+        let next_id = self.cur.id + 1;
+        let old = std::mem::replace(&mut self.cur, ExecState::new(next_id));
+        self.past.push(old);
+    }
+
+    /// Direct read of the persistent image (for assertions in tests).
+    pub fn image(&self) -> &PmImage {
+        &self.image
+    }
+
+    /// Number of executions so far (current one included).
+    pub fn exec_count(&self) -> usize {
+        self.past.len() + 1
+    }
+}
+
+/// The most recent committed store for each byte of `line`, de-duplicated.
+fn line_store_refs<'a>(
+    events: &'a HashMap<EventId, StoreEvent>,
+    store_map: &HashMap<Addr, EventId>,
+    line: CacheLineId,
+) -> Vec<&'a StoreEvent> {
+    let base = line.base();
+    let mut seen: Vec<EventId> = Vec::new();
+    for i in 0..pmem::CACHE_LINE_SIZE {
+        if let Some(&id) = store_map.get(&(base + i)) {
+            push_unique(&mut seen, id);
+        }
+    }
+    seen.iter().map(|id| &events[id]).collect()
+}
+
+fn push_unique<T: PartialEq + Copy>(v: &mut Vec<T>, item: T) {
+    if !v.contains(&item) {
+        v.push(item);
+    }
+}
+
+fn ranges_overlap(a: Addr, a_len: u64, b: Addr, b_len: u64) -> bool {
+    a < b + b_len && b < a + a_len
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::NullSink;
+    use rand::SeedableRng;
+
+    fn mem() -> MemState {
+        MemState::new(CompilerConfig::default(), 1 << 20)
+    }
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn store_load_roundtrip_via_bypass_and_cache() {
+        let mut m = mem();
+        let mut sink = NullSink;
+        let t = m.register_thread(None);
+        let a = Addr(0x1000);
+        m.exec_store(&mut sink, t, a, &7u64.to_le_bytes(), Atomicity::Plain, "x");
+        // Still buffered: bypass serves the value.
+        assert_eq!(m.sb_len(t), 1);
+        let out = m.exec_load(t, a, 8, Atomicity::Plain);
+        assert_eq!(u64::from_le_bytes(out.bytes.try_into().unwrap()), 7);
+        // Commit and read from cache.
+        m.drain_sb(&mut sink, t);
+        assert_eq!(m.sb_len(t), 0);
+        let out = m.exec_load(t, a, 8, Atomicity::Plain);
+        assert_eq!(u64::from_le_bytes(out.bytes.try_into().unwrap()), 7);
+        assert!(out.chosen.is_empty(), "same-execution read");
+    }
+
+    #[test]
+    fn buffered_stores_lost_at_crash() {
+        let mut m = mem();
+        let mut sink = NullSink;
+        let t = m.register_thread(None);
+        let a = Addr(0x1000);
+        m.exec_store(&mut sink, t, a, &7u64.to_le_bytes(), Atomicity::Plain, "x");
+        // No drain: the store dies in the buffer.
+        m.crash(PersistencePolicy::FullCache, &mut rng());
+        let t2 = m.register_thread(None);
+        let out = m.exec_load(t2, a, 8, Atomicity::Plain);
+        assert_eq!(u64::from_le_bytes(out.bytes.try_into().unwrap()), 0);
+        assert!(out.chosen.is_empty());
+        assert!(out.candidates.is_empty());
+    }
+
+    #[test]
+    fn committed_store_survives_full_cache_crash() {
+        let mut m = mem();
+        let mut sink = NullSink;
+        let t = m.register_thread(None);
+        let a = Addr(0x1000);
+        m.exec_store(&mut sink, t, a, &7u64.to_le_bytes(), Atomicity::Plain, "x");
+        m.drain_sb(&mut sink, t);
+        m.crash(PersistencePolicy::FullCache, &mut rng());
+        let t2 = m.register_thread(None);
+        let out = m.exec_load(t2, a, 8, Atomicity::Plain);
+        assert_eq!(u64::from_le_bytes(out.bytes.try_into().unwrap()), 7);
+        assert_eq!(out.chosen.len(), 1);
+        assert_eq!(out.candidates.len(), 1);
+    }
+
+    #[test]
+    fn unflushed_store_lost_under_floor_only_policy() {
+        let mut m = mem();
+        let mut sink = NullSink;
+        let t = m.register_thread(None);
+        let a = Addr(0x1000);
+        m.exec_store(&mut sink, t, a, &7u64.to_le_bytes(), Atomicity::Plain, "x");
+        m.drain_sb(&mut sink, t);
+        m.crash(PersistencePolicy::FloorOnly, &mut rng());
+        let t2 = m.register_thread(None);
+        let out = m.exec_load(t2, a, 8, Atomicity::Plain);
+        assert_eq!(u64::from_le_bytes(out.bytes.try_into().unwrap()), 0);
+        // The committed-but-unpersisted store is still a read candidate.
+        assert_eq!(out.candidates.len(), 1);
+        assert!(out.chosen.is_empty());
+    }
+
+    #[test]
+    fn clflush_makes_store_survive_floor_policy() {
+        let mut m = mem();
+        let mut sink = NullSink;
+        let t = m.register_thread(None);
+        let a = Addr(0x1000);
+        m.exec_store(&mut sink, t, a, &7u64.to_le_bytes(), Atomicity::Plain, "x");
+        m.exec_clflush(t, a);
+        m.drain_sb(&mut sink, t);
+        m.crash(PersistencePolicy::FloorOnly, &mut rng());
+        let t2 = m.register_thread(None);
+        let out = m.exec_load(t2, a, 8, Atomicity::Plain);
+        assert_eq!(u64::from_le_bytes(out.bytes.try_into().unwrap()), 7);
+    }
+
+    #[test]
+    fn clwb_needs_fence_to_persist() {
+        // clwb alone: floor not raised.
+        let mut m = mem();
+        let mut sink = NullSink;
+        let t = m.register_thread(None);
+        let a = Addr(0x1000);
+        m.exec_store(&mut sink, t, a, &7u64.to_le_bytes(), Atomicity::Plain, "x");
+        m.exec_clwb(t, a);
+        m.drain_sb(&mut sink, t);
+        m.crash(PersistencePolicy::FloorOnly, &mut rng());
+        let t2 = m.register_thread(None);
+        let out = m.exec_load(t2, a, 8, Atomicity::Plain);
+        assert_eq!(u64::from_le_bytes(out.bytes.try_into().unwrap()), 0);
+
+        // clwb + sfence: persisted.
+        let mut m = mem();
+        let t = m.register_thread(None);
+        m.exec_store(&mut sink, t, a, &7u64.to_le_bytes(), Atomicity::Plain, "x");
+        m.exec_clwb(t, a);
+        m.exec_sfence(t);
+        m.drain_sb(&mut sink, t);
+        m.crash(PersistencePolicy::FloorOnly, &mut rng());
+        let t2 = m.register_thread(None);
+        let out = m.exec_load(t2, a, 8, Atomicity::Plain);
+        assert_eq!(u64::from_le_bytes(out.bytes.try_into().unwrap()), 7);
+    }
+
+    #[test]
+    fn torn_store_observable_under_random_policy() {
+        // gcc/ARM64 tears the 64-bit store into two 4-byte chunks; a random
+        // cut can persist only the first — Figure 1's 0x12345678.
+        let mut hits = 0;
+        for seed in 0..32 {
+            let mut m = MemState::new(CompilerConfig::gcc_o1_arm64(), 1 << 20);
+            let mut sink = NullSink;
+            let t = m.register_thread(None);
+            let a = Addr(0x1000);
+            m.exec_store(
+                &mut sink,
+                t,
+                a,
+                &0x1234_5678_1234_5678u64.to_le_bytes(),
+                Atomicity::Plain,
+                "pmobj->val",
+            );
+            m.drain_sb(&mut sink, t);
+            let mut r = StdRng::seed_from_u64(seed);
+            m.crash(PersistencePolicy::Random, &mut r);
+            let t2 = m.register_thread(None);
+            let out = m.exec_load(t2, a, 8, Atomicity::Plain);
+            let v = u64::from_le_bytes(out.bytes.try_into().unwrap());
+            if v == 0x1234_5678 {
+                hits += 1;
+            } else {
+                assert!(v == 0 || v == 0x1234_5678_1234_5678, "unexpected {v:#x}");
+            }
+        }
+        assert!(hits > 0, "some seed should persist exactly one chunk");
+    }
+
+    #[test]
+    fn cas_swaps_and_reports_old_value() {
+        let mut m = mem();
+        let mut sink = NullSink;
+        let t = m.register_thread(None);
+        let a = Addr(0x1000);
+        let (old, ok, _) = m.exec_cas(&mut sink, t, a, 0, 5, "lock");
+        assert!(ok);
+        assert_eq!(old, 0);
+        let (old, ok, _) = m.exec_cas(&mut sink, t, a, 0, 9, "lock");
+        assert!(!ok);
+        assert_eq!(old, 5);
+        // CAS stores commit immediately (no buffering).
+        assert_eq!(m.sb_len(t), 0);
+    }
+
+    #[test]
+    fn spawn_join_synchronize_clocks() {
+        let mut m = mem();
+        let t0 = m.register_thread(None);
+        let t1 = m.register_thread(Some(t0));
+        assert!(m.cv(t1).get(t0) > 0, "child sees parent prefix");
+        let before = m.cv(t0).get(t1);
+        m.join_thread(t0, t1);
+        assert!(m.cv(t0).get(t1) >= before);
+        assert!(m.cv(t0).get(t1) > 0);
+    }
+
+    #[test]
+    fn memset_and_memcpy_round_trip() {
+        let mut m = mem();
+        let mut sink = NullSink;
+        let t = m.register_thread(None);
+        let a = Addr(0x1000);
+        m.exec_memset(&mut sink, t, a, 0xab, 20, "init");
+        m.drain_sb(&mut sink, t);
+        let out = m.exec_load(t, a, 20, Atomicity::Plain);
+        assert!(out.bytes.iter().all(|&b| b == 0xab));
+        let data: Vec<u8> = (0..20).collect();
+        m.exec_memcpy(&mut sink, t, a, &data, "copy");
+        m.drain_sb(&mut sink, t);
+        let out = m.exec_load(t, a, 20, Atomicity::Plain);
+        assert_eq!(out.bytes, data);
+    }
+
+    #[test]
+    fn line_straddling_store_splits_into_per_line_events() {
+        let mut m = mem();
+        let mut sink = NullSink;
+        let t = m.register_thread(None);
+        // 8-byte store 4 bytes before a line boundary.
+        let a = Addr(0x1000 + 60);
+        m.exec_store(&mut sink, t, a, &0xffff_ffff_ffff_ffffu64.to_le_bytes(), Atomicity::Plain, "x");
+        assert_eq!(m.sb_len(t), 2, "split at the line boundary");
+    }
+
+    #[test]
+    fn candidates_include_all_unflushed_line_stores() {
+        let mut m = mem();
+        let mut sink = NullSink;
+        let t = m.register_thread(None);
+        let a = Addr(0x1000);
+        m.exec_store(&mut sink, t, a, &1u64.to_le_bytes(), Atomicity::Plain, "first");
+        m.exec_store(&mut sink, t, a, &2u64.to_le_bytes(), Atomicity::Plain, "second");
+        m.drain_sb(&mut sink, t);
+        m.crash(PersistencePolicy::FullCache, &mut rng());
+        let t2 = m.register_thread(None);
+        let out = m.exec_load(t2, a, 8, Atomicity::Plain);
+        assert_eq!(u64::from_le_bytes(out.bytes.try_into().unwrap()), 2);
+        assert_eq!(out.chosen.len(), 1);
+        assert_eq!(out.candidates.len(), 2, "both stores are candidates");
+    }
+
+    #[test]
+    fn exec_count_tracks_crashes() {
+        let mut m = mem();
+        assert_eq!(m.exec_count(), 1);
+        m.crash(PersistencePolicy::FullCache, &mut rng());
+        assert_eq!(m.exec_count(), 2);
+        assert_eq!(m.cur.id, 1);
+    }
+}

@@ -1,0 +1,140 @@
+//! Programs under test: named sequences of crash-separated phases.
+
+use std::fmt;
+use std::sync::Arc;
+
+use compiler_model::CompilerConfig;
+
+use crate::ctx::Ctx;
+
+/// A phase body: the code one execution runs from boot to (injected or
+/// end-of-phase) crash.
+pub type PhaseFn = Arc<dyn Fn(&mut Ctx) + Send + Sync>;
+
+/// A program under test.
+///
+/// A program is a list of *phases* separated by crashes: phase 0 is the
+/// pre-crash execution, phase 1 the post-crash (recovery + reads) execution,
+/// and further phases model repeated recovery (a "sequence of multiple
+/// executions ending in failures", §6). The engine runs each phase many
+/// times with different injected crash points.
+///
+/// # Examples
+///
+/// ```
+/// use jaaru::{Atomicity, Ctx, Program};
+/// use pmem::Addr;
+///
+/// let program = Program::new("fig1")
+///     .pre_crash(|ctx: &mut Ctx| {
+///         ctx.store_u64(Addr::BASE, 7, Atomicity::Plain, "x");
+///         ctx.clflush(Addr::BASE);
+///         ctx.sfence();
+///     })
+///     .post_crash(|ctx: &mut Ctx| {
+///         let _ = ctx.load_u64(Addr::BASE, Atomicity::Plain);
+///     });
+/// assert_eq!(program.phases().len(), 2);
+/// ```
+#[derive(Clone)]
+pub struct Program {
+    name: String,
+    phases: Vec<PhaseFn>,
+    compiler: CompilerConfig,
+    heap_bytes: u64,
+}
+
+impl Program {
+    /// Starts a program with the given name and no phases.
+    pub fn new(name: impl Into<String>) -> Self {
+        Program {
+            name: name.into(),
+            phases: Vec::new(),
+            compiler: CompilerConfig::default(),
+            heap_bytes: 1 << 22,
+        }
+    }
+
+    /// Appends the pre-crash phase. Call before [`Program::post_crash`].
+    pub fn pre_crash(self, f: impl Fn(&mut Ctx) + Send + Sync + 'static) -> Self {
+        self.phase(f)
+    }
+
+    /// Appends the post-crash (recovery) phase.
+    pub fn post_crash(self, f: impl Fn(&mut Ctx) + Send + Sync + 'static) -> Self {
+        self.phase(f)
+    }
+
+    /// Appends an arbitrary additional phase (multi-crash scenarios).
+    pub fn phase(mut self, f: impl Fn(&mut Ctx) + Send + Sync + 'static) -> Self {
+        self.phases.push(Arc::new(f));
+        self
+    }
+
+    /// Sets the compiler model used to lower this program's stores.
+    pub fn with_compiler(mut self, compiler: CompilerConfig) -> Self {
+        self.compiler = compiler;
+        self
+    }
+
+    /// Sets the simulated persistent-heap size in bytes (default 4 MiB).
+    pub fn with_heap_bytes(mut self, bytes: u64) -> Self {
+        self.heap_bytes = bytes;
+        self
+    }
+
+    /// The program's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The phases in execution order.
+    pub fn phases(&self) -> &[PhaseFn] {
+        &self.phases
+    }
+
+    /// The compiler configuration.
+    pub fn compiler(&self) -> CompilerConfig {
+        self.compiler
+    }
+
+    /// The simulated heap size.
+    pub fn heap_bytes(&self) -> u64 {
+        self.heap_bytes
+    }
+}
+
+impl fmt::Debug for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Program")
+            .field("name", &self.name)
+            .field("phases", &self.phases.len())
+            .field("compiler", &self.compiler)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates_phases() {
+        let p = Program::new("p")
+            .pre_crash(|_| {})
+            .post_crash(|_| {})
+            .phase(|_| {});
+        assert_eq!(p.phases().len(), 3);
+        assert_eq!(p.name(), "p");
+    }
+
+    #[test]
+    fn configuration_setters() {
+        let p = Program::new("p")
+            .with_compiler(CompilerConfig::gcc_o1_arm64())
+            .with_heap_bytes(1 << 10);
+        assert_eq!(p.compiler(), CompilerConfig::gcc_o1_arm64());
+        assert_eq!(p.heap_bytes(), 1 << 10);
+        assert!(format!("{p:?}").contains("\"p\""));
+    }
+}

@@ -1,0 +1,236 @@
+//! Race reports and per-run summaries.
+
+use std::fmt;
+use std::time::Duration;
+
+use pmem::Addr;
+use vclock::ThreadId;
+
+use crate::event::{ExecId, Label};
+
+/// The kind of a detector report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReportKind {
+    /// A persistency race per Definition 5.1 / Theorem 1.
+    PersistencyRace,
+    /// A true persistency race whose loaded value only feeds a checksum
+    /// validation, so the program discards the inconsistent data (§7.5).
+    BenignChecksum,
+    /// The post-crash execution panicked (the analogue of the paper's
+    /// segfault/assertion-failure symptoms, §7.2).
+    PostCrashPanic,
+}
+
+impl fmt::Display for ReportKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ReportKind::PersistencyRace => "persistency race",
+            ReportKind::BenignChecksum => "benign (checksum-validated) race",
+            ReportKind::PostCrashPanic => "post-crash panic",
+        })
+    }
+}
+
+/// One detector finding.
+#[derive(Debug, Clone)]
+pub struct RaceReport {
+    kind: ReportKind,
+    label: Label,
+    addr: Addr,
+    store_exec: ExecId,
+    load_exec: ExecId,
+    store_thread: ThreadId,
+    detail: String,
+}
+
+impl RaceReport {
+    /// Creates a report.
+    pub fn new(
+        kind: ReportKind,
+        label: Label,
+        addr: Addr,
+        store_exec: ExecId,
+        load_exec: ExecId,
+        store_thread: ThreadId,
+        detail: impl Into<String>,
+    ) -> Self {
+        RaceReport {
+            kind,
+            label,
+            addr,
+            store_exec,
+            load_exec,
+            store_thread,
+            detail: detail.into(),
+        }
+    }
+
+    /// The report kind.
+    pub fn kind(&self) -> ReportKind {
+        self.kind
+    }
+
+    /// The racy store's source label (field name).
+    pub fn label(&self) -> Label {
+        self.label
+    }
+
+    /// Address of the racing store.
+    pub fn addr(&self) -> Addr {
+        self.addr
+    }
+
+    /// Execution containing the racing store.
+    pub fn store_exec(&self) -> ExecId {
+        self.store_exec
+    }
+
+    /// Execution containing the race-observing load.
+    pub fn load_exec(&self) -> ExecId {
+        self.load_exec
+    }
+
+    /// Thread that performed the racing store.
+    pub fn store_thread(&self) -> ThreadId {
+        self.store_thread
+    }
+
+    /// Human-readable explanation.
+    pub fn detail(&self) -> &str {
+        &self.detail
+    }
+}
+
+impl fmt::Display for RaceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: store to `{}` at {} by {} (execution {}) observed by execution {}: {}",
+            self.kind,
+            self.label,
+            self.addr,
+            self.store_thread,
+            self.store_exec,
+            self.load_exec,
+            self.detail
+        )
+    }
+}
+
+/// Summary of a whole engine run (one or many executions).
+#[derive(Debug, Default)]
+pub struct RunReport {
+    races: Vec<RaceReport>,
+    executions: usize,
+    crash_points: usize,
+    post_crash_panics: Vec<String>,
+    elapsed: Duration,
+}
+
+impl RunReport {
+    pub(crate) fn new(
+        races: Vec<RaceReport>,
+        executions: usize,
+        crash_points: usize,
+        post_crash_panics: Vec<String>,
+        elapsed: Duration,
+    ) -> Self {
+        RunReport {
+            races,
+            executions,
+            crash_points,
+            post_crash_panics,
+            elapsed,
+        }
+    }
+
+    /// All reports, de-duplicated by `(kind, label)` in first-seen order.
+    pub fn races(&self) -> &[RaceReport] {
+        &self.races
+    }
+
+    /// Reports of kind [`ReportKind::PersistencyRace`] only.
+    pub fn true_races(&self) -> impl Iterator<Item = &RaceReport> {
+        self.races
+            .iter()
+            .filter(|r| r.kind == ReportKind::PersistencyRace)
+    }
+
+    /// Distinct labels of true persistency races, the unit the paper counts.
+    pub fn race_labels(&self) -> Vec<Label> {
+        self.true_races().map(RaceReport::label).collect()
+    }
+
+    /// Number of complete (pre-crash + post-crash) executions simulated.
+    pub fn executions(&self) -> usize {
+        self.executions
+    }
+
+    /// Number of distinct crash points discovered in the program.
+    pub fn crash_points(&self) -> usize {
+        self.crash_points
+    }
+
+    /// Panic messages from post-crash benchmark code (crash symptoms).
+    pub fn post_crash_panics(&self) -> &[String] {
+        &self.post_crash_panics
+    }
+
+    /// Wall-clock duration of the run.
+    pub fn elapsed(&self) -> Duration {
+        self.elapsed
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} report(s) over {} execution(s), {} crash point(s), {:?}:",
+            self.races.len(),
+            self.executions,
+            self.crash_points,
+            self.elapsed
+        )?;
+        for r in &self.races {
+            writeln!(f, "  {r}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(kind: ReportKind, label: Label) -> RaceReport {
+        RaceReport::new(kind, label, Addr(0x10), 0, 1, ThreadId::MAIN, "detail")
+    }
+
+    #[test]
+    fn display_mentions_label_and_kind() {
+        let r = report(ReportKind::PersistencyRace, "Pair.key");
+        let s = r.to_string();
+        assert!(s.contains("Pair.key"));
+        assert!(s.contains("persistency race"));
+    }
+
+    #[test]
+    fn run_report_filters_true_races() {
+        let rr = RunReport::new(
+            vec![
+                report(ReportKind::PersistencyRace, "a"),
+                report(ReportKind::BenignChecksum, "b"),
+                report(ReportKind::PersistencyRace, "c"),
+            ],
+            3,
+            5,
+            vec![],
+            Duration::from_millis(1),
+        );
+        assert_eq!(rr.race_labels(), vec!["a", "c"]);
+        assert_eq!(rr.races().len(), 3);
+        assert_eq!(rr.executions(), 3);
+        assert!(rr.to_string().contains("benign"));
+    }
+}

@@ -1,0 +1,311 @@
+//! Token-passing cooperative scheduler over OS threads.
+//!
+//! The engine serializes simulated threads: exactly one holds the *token*
+//! and runs benchmark code; everyone else blocks. Every memory operation is
+//! a scheduling point, so the scheduler fully controls the interleaving —
+//! deterministic round-robin in model-checking mode ("Yashme controls
+//! multithreaded scheduling to regenerate the same execution", §6) and
+//! seeded-random in random mode. Crash injection simply marks the run
+//! crashed; every task unwinds with [`CrashUnwind`] at its next scheduling
+//! point.
+
+use std::collections::HashMap;
+
+use parking_lot::{Condvar, Mutex};
+use rand::rngs::StdRng;
+use rand::Rng;
+use vclock::ThreadId;
+
+use crate::mem::MemState;
+use crate::sink::EventSink;
+
+/// Panic payload used to unwind simulated threads at a crash.
+pub(crate) struct CrashUnwind;
+
+/// Scheduling policy for picking the next runnable task and for store-buffer
+/// eviction timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedPolicy {
+    /// Deterministic: round-robin task choice, full store-buffer drain at
+    /// every scheduling point.
+    Deterministic,
+    /// Seeded-random task choice and partial, randomized buffer eviction.
+    RandomChoice,
+    /// Scripted: task choices replayed from an explicit script (exhaustive
+    /// schedule exploration); full store-buffer drain at every scheduling
+    /// point so schedules are the only branch points. Off-script choices
+    /// default to the first candidate and every choice is logged.
+    Scripted,
+}
+
+/// State of one simulated task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TaskState {
+    Runnable,
+    Finished,
+}
+
+/// Scheduler bookkeeping (token, liveness).
+pub(crate) struct Sched {
+    token: ThreadId,
+    tasks: HashMap<ThreadId, TaskState>,
+    active: usize,
+    pub crashed: bool,
+    pub policy: SchedPolicy,
+    /// Scripted mode: the candidate index to pick at each branch point.
+    pub script: Vec<usize>,
+    /// Scripted mode: cursor into `script`.
+    pub cursor: usize,
+    /// Scripted mode: `(chosen index, candidate count)` per branch point.
+    pub choice_log: Vec<(usize, usize)>,
+}
+
+impl Sched {
+    fn new(policy: SchedPolicy) -> Self {
+        Sched {
+            token: ThreadId::MAIN,
+            tasks: HashMap::new(),
+            active: 0,
+            crashed: false,
+            policy,
+            script: Vec::new(),
+            cursor: 0,
+            choice_log: Vec::new(),
+        }
+    }
+
+    pub fn register(&mut self, tid: ThreadId) {
+        self.tasks.insert(tid, TaskState::Runnable);
+        self.active += 1;
+        if self.active == 1 {
+            self.token = tid;
+        }
+    }
+
+    pub fn is_finished(&self, tid: ThreadId) -> bool {
+        self.tasks.get(&tid) == Some(&TaskState::Finished)
+    }
+
+    fn runnable_after(&self, from: ThreadId) -> Vec<ThreadId> {
+        let mut ids: Vec<ThreadId> = self
+            .tasks
+            .iter()
+            .filter(|(_, s)| **s == TaskState::Runnable)
+            .map(|(t, _)| *t)
+            .collect();
+        ids.sort();
+        // Rotate so the scan starts just after `from`.
+        let pivot = ids.iter().position(|&t| t > from).unwrap_or(0);
+        ids.rotate_left(pivot);
+        ids
+    }
+
+    fn pick_next(&mut self, from: ThreadId, rng: &mut StdRng) -> Option<ThreadId> {
+        let candidates = self.runnable_after(from);
+        if candidates.is_empty() {
+            return None;
+        }
+        Some(match self.policy {
+            SchedPolicy::Deterministic => candidates[0],
+            SchedPolicy::RandomChoice => candidates[rng.gen_range(0..candidates.len())],
+            SchedPolicy::Scripted => {
+                // Branch points with a single candidate are not logged: they
+                // carry no exploration choice.
+                if candidates.len() == 1 {
+                    candidates[0]
+                } else {
+                    let idx = self
+                        .script
+                        .get(self.cursor)
+                        .copied()
+                        .unwrap_or(0)
+                        .min(candidates.len() - 1);
+                    self.cursor += 1;
+                    self.choice_log.push((idx, candidates.len()));
+                    candidates[idx]
+                }
+            }
+        })
+    }
+}
+
+/// Crash-injection control: counts crash points and triggers at the target.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct CrashCtl {
+    /// Crash points seen so far in the current phase.
+    pub seen: usize,
+    /// Inject a crash when `seen` reaches this index (phase-local).
+    pub target: Option<usize>,
+}
+
+impl CrashCtl {
+    /// Registers one crash point; returns `true` if the crash fires here.
+    fn hit(&mut self) -> bool {
+        let fire = self.target == Some(self.seen);
+        self.seen += 1;
+        fire
+    }
+}
+
+/// Everything shared between simulated tasks and the engine host.
+pub(crate) struct Core {
+    pub mem: MemState,
+    pub sink: Box<dyn EventSink>,
+    pub sched: Sched,
+    pub crash: CrashCtl,
+    pub rng: StdRng,
+    /// Panic messages from simulated-task code (post-crash symptoms).
+    pub panics: Vec<String>,
+}
+
+/// The shared handle: a mutex-protected [`Core`] plus its condvar.
+pub(crate) struct Shared {
+    pub core: Mutex<Core>,
+    pub cond: Condvar,
+}
+
+impl Shared {
+    pub fn new(mem: MemState, sink: Box<dyn EventSink>, policy: SchedPolicy, rng: StdRng) -> Self {
+        Shared {
+            core: Mutex::new(Core {
+                mem,
+                sink,
+                sched: Sched::new(policy),
+                crash: CrashCtl::default(),
+                rng,
+                panics: Vec::new(),
+            }),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Runs `f` with the core locked. The caller must hold the token.
+    pub fn with_core<R>(&self, f: impl FnOnce(&mut Core) -> R) -> R {
+        let mut core = self.core.lock();
+        f(&mut core)
+    }
+
+    /// Blocks until `tid` holds the token (a freshly spawned task's first
+    /// action).
+    ///
+    /// # Panics
+    ///
+    /// Unwinds with [`CrashUnwind`] if a crash is injected while waiting.
+    pub fn wait_for_token(&self, tid: ThreadId) {
+        let mut guard = self.core.lock();
+        while guard.sched.token != tid && !guard.sched.crashed {
+            self.cond.wait(&mut guard);
+        }
+        if guard.sched.crashed {
+            drop(guard);
+            std::panic::panic_any(CrashUnwind);
+        }
+    }
+
+    /// A scheduling point for task `tid`: performs buffer evictions per
+    /// policy, hands the token to the next task, and blocks until the token
+    /// returns.
+    ///
+    /// # Panics
+    ///
+    /// Unwinds with [`CrashUnwind`] if a crash has been injected.
+    pub fn yield_now(&self, tid: ThreadId) {
+        let mut guard = self.core.lock();
+        if guard.sched.crashed {
+            drop(guard);
+            std::panic::panic_any(CrashUnwind);
+        }
+        Self::do_evictions(&mut guard);
+        {
+            let core = &mut *guard;
+            if let Some(next) = core.sched.pick_next(tid, &mut core.rng) {
+                core.sched.token = next;
+            }
+        }
+        self.cond.notify_all();
+        while guard.sched.token != tid && !guard.sched.crashed {
+            self.cond.wait(&mut guard);
+        }
+        if guard.sched.crashed {
+            drop(guard);
+            std::panic::panic_any(CrashUnwind);
+        }
+    }
+
+    /// Buffer evictions at a scheduling point.
+    fn do_evictions(core: &mut Core) {
+        let Core {
+            mem, sink, sched, rng, ..
+        } = core;
+        match sched.policy {
+            SchedPolicy::Deterministic | SchedPolicy::Scripted => {
+                mem.drain_all_sbs(sink.as_mut())
+            }
+            SchedPolicy::RandomChoice => {
+                for t in mem.threads_with_buffered_stores() {
+                    // Evict a random number of entries, choosing among the
+                    // legally evictable positions each step (this is where
+                    // clwb-overtaking-store reordering is explored).
+                    let n = rng.gen_range(0..=mem.sb_len(t));
+                    for _ in 0..n {
+                        let positions = mem.evictable(t);
+                        if positions.is_empty() {
+                            break;
+                        }
+                        let pos = positions[rng.gen_range(0..positions.len())];
+                        mem.evict_one(sink.as_mut(), t, pos);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Registers a crash point at task `tid`'s current position; if the
+    /// injection target is here, marks the run crashed and unwinds.
+    pub fn crash_point(&self, _tid: ThreadId) {
+        let mut core = self.core.lock();
+        if core.sched.crashed {
+            drop(core);
+            std::panic::panic_any(CrashUnwind);
+        }
+        if core.crash.hit() {
+            if core.sched.policy == SchedPolicy::Deterministic {
+                // Commit recently executed stores so the crash lands in the
+                // store→flush window rather than losing the stores outright.
+                let Core { mem, sink, .. } = &mut *core;
+                mem.drain_all_sbs(sink.as_mut());
+            }
+            core.sched.crashed = true;
+            let exec = core.mem.cur.id;
+            core.sink.on_crash(exec);
+            self.cond.notify_all();
+            drop(core);
+            std::panic::panic_any(CrashUnwind);
+        }
+    }
+
+    /// Marks task `tid` finished and hands the token onward. Called by the
+    /// task wrapper as its last action (also after a crash unwind).
+    pub fn finish_task(&self, tid: ThreadId) {
+        let mut guard = self.core.lock();
+        let core = &mut *guard;
+        if let Some(state) = core.sched.tasks.get_mut(&tid) {
+            *state = TaskState::Finished;
+        }
+        core.sched.active -= 1;
+        if core.sched.token == tid {
+            if let Some(next) = core.sched.pick_next(tid, &mut core.rng) {
+                core.sched.token = next;
+            }
+        }
+        self.cond.notify_all();
+    }
+
+    /// Blocks the host thread until every task has finished or unwound.
+    pub fn wait_all_tasks(&self) {
+        let mut core = self.core.lock();
+        while core.sched.active > 0 {
+            self.cond.wait(&mut core);
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! The plugin interface between the execution engine and detectors.
+//!
+//! The paper implements Yashme "as a plugin for the model checking
+//! infrastructure, which reports persistent memory relevant execution events
+//! to Yashme" (§6). [`EventSink`] is that interface: the engine calls it at
+//! every instruction-execution, buffer-eviction, crash, and
+//! pre-crash-read event. The `yashme` crate implements the detector;
+//! [`NullSink`] implements "plain Jaaru" for overhead comparisons (Table 5).
+
+use vclock::VectorClock;
+
+use crate::event::{ExecId, FlushEvent, LoadInfo, StoreEvent};
+use crate::report::RaceReport;
+
+/// Receiver of engine events. See the module docs.
+///
+/// All callbacks have empty default implementations so a sink only overrides
+/// what it needs.
+pub trait EventSink: Send {
+    /// A new execution was pushed on the execution stack.
+    fn on_execution_start(&mut self, exec: ExecId) {
+        let _ = exec;
+    }
+
+    /// A store executed (entered its thread's store buffer). `Exec_Store` in
+    /// Fig. 7.
+    fn on_store_executed(&mut self, store: &StoreEvent) {
+        let _ = store;
+    }
+
+    /// A store exited the store buffer and took effect on the cache; its
+    /// `seq` is now set. `Evict_SB(store)` in Fig. 8.
+    fn on_store_committed(&mut self, store: &StoreEvent) {
+        let _ = store;
+    }
+
+    /// A `clflush` exited the store buffer and flushed its line.
+    /// `Evict_SB(clflush)` in Fig. 8. `line_stores` holds the most recent
+    /// committed store to each address of the flushed cache line.
+    fn on_clflush_committed(&mut self, flush: &FlushEvent, line_stores: &[&StoreEvent]) {
+        let _ = (flush, line_stores);
+    }
+
+    /// A `clwb` previously evicted into the flush buffer was made persistent
+    /// by a fence in its thread. `Evict_FB` in Fig. 8.
+    fn on_clwb_fenced(
+        &mut self,
+        clwb: &FlushEvent,
+        fence_cv: &VectorClock,
+        line_stores: &[&StoreEvent],
+    ) {
+        let _ = (clwb, fence_cv, line_stores);
+    }
+
+    /// A crash was injected; `exec` is the execution that crashed.
+    fn on_crash(&mut self, exec: ExecId) {
+        let _ = exec;
+    }
+
+    /// A load in a later execution read bytes produced by earlier
+    /// executions.
+    ///
+    /// * `chosen` — the distinct stores whose bytes the load actually
+    ///   observes in the simulated persistent image, oldest-execution first.
+    /// * `candidates` — every store the load *could* have read depending on
+    ///   when the cache line was written back (Jaaru's constraint-based
+    ///   read-from set, §6 "Implementation"); a superset of the pre-crash
+    ///   part of `chosen`.
+    ///
+    /// The detector race-checks all candidates and updates its
+    /// `CVpre`/`lastflush` state from the chosen stores.
+    fn on_pre_exec_read(
+        &mut self,
+        load: &LoadInfo,
+        chosen: &[&StoreEvent],
+        candidates: &[&StoreEvent],
+    ) {
+        let _ = (load, chosen, candidates);
+    }
+
+    /// Takes every report accumulated since the last drain.
+    fn drain_reports(&mut self) -> Vec<RaceReport> {
+        Vec::new()
+    }
+}
+
+/// A sink that ignores every event: the plain Jaaru baseline used to measure
+/// Yashme's overhead (Table 5).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl EventSink for NullSink {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_sink_reports_nothing() {
+        let mut sink = NullSink;
+        sink.on_execution_start(0);
+        sink.on_crash(0);
+        assert!(sink.drain_reports().is_empty());
+    }
+}
+
+/// Fans events out to two sinks (e.g. a detector plus a tracer).
+///
+/// Reports from both sinks are concatenated, detector-first.
+#[derive(Debug)]
+pub struct TeeSink<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: EventSink, B: EventSink> TeeSink<A, B> {
+    /// Creates a tee over two sinks.
+    pub fn new(a: A, b: B) -> Self {
+        TeeSink { a, b }
+    }
+}
+
+impl<A: EventSink, B: EventSink> EventSink for TeeSink<A, B> {
+    fn on_execution_start(&mut self, exec: ExecId) {
+        self.a.on_execution_start(exec);
+        self.b.on_execution_start(exec);
+    }
+
+    fn on_store_executed(&mut self, store: &StoreEvent) {
+        self.a.on_store_executed(store);
+        self.b.on_store_executed(store);
+    }
+
+    fn on_store_committed(&mut self, store: &StoreEvent) {
+        self.a.on_store_committed(store);
+        self.b.on_store_committed(store);
+    }
+
+    fn on_clflush_committed(&mut self, flush: &FlushEvent, line_stores: &[&StoreEvent]) {
+        self.a.on_clflush_committed(flush, line_stores);
+        self.b.on_clflush_committed(flush, line_stores);
+    }
+
+    fn on_clwb_fenced(
+        &mut self,
+        clwb: &FlushEvent,
+        fence_cv: &VectorClock,
+        line_stores: &[&StoreEvent],
+    ) {
+        self.a.on_clwb_fenced(clwb, fence_cv, line_stores);
+        self.b.on_clwb_fenced(clwb, fence_cv, line_stores);
+    }
+
+    fn on_crash(&mut self, exec: ExecId) {
+        self.a.on_crash(exec);
+        self.b.on_crash(exec);
+    }
+
+    fn on_pre_exec_read(
+        &mut self,
+        load: &LoadInfo,
+        chosen: &[&StoreEvent],
+        candidates: &[&StoreEvent],
+    ) {
+        self.a.on_pre_exec_read(load, chosen, candidates);
+        self.b.on_pre_exec_read(load, chosen, candidates);
+    }
+
+    fn drain_reports(&mut self) -> Vec<RaceReport> {
+        let mut out = self.a.drain_reports();
+        out.extend(self.b.drain_reports());
+        out
+    }
+}
+
+/// Records a human-readable event trace — attach alongside a detector via
+/// [`TeeSink`] to see what an execution did.
+#[derive(Debug, Default)]
+pub struct TraceSink {
+    lines: std::sync::Arc<std::sync::Mutex<Vec<String>>>,
+}
+
+impl TraceSink {
+    /// Creates an empty tracer.
+    pub fn new() -> Self {
+        TraceSink::default()
+    }
+
+    /// A shared handle to the recorded lines (valid after the run).
+    pub fn lines(&self) -> std::sync::Arc<std::sync::Mutex<Vec<String>>> {
+        self.lines.clone()
+    }
+}
+
+impl EventSink for TraceSink {
+    fn on_execution_start(&mut self, exec: ExecId) {
+        self.lines
+            .lock()
+            .expect("trace lock")
+            .push(format!("=== execution {exec} ==="));
+    }
+
+    fn on_store_committed(&mut self, store: &StoreEvent) {
+        self.lines.lock().expect("trace lock").push(format!(
+            "{} store {} ({} bytes, {}) @ {}",
+            store.thread,
+            store.label,
+            store.len(),
+            store.atomicity,
+            store.addr
+        ));
+    }
+
+    fn on_clflush_committed(&mut self, flush: &FlushEvent, _line_stores: &[&StoreEvent]) {
+        self.lines
+            .lock()
+            .expect("trace lock")
+            .push(format!("{} clflush {}", flush.thread, flush.addr));
+    }
+
+    fn on_crash(&mut self, exec: ExecId) {
+        self.lines
+            .lock()
+            .expect("trace lock")
+            .push(format!("*** crash (execution {exec}) ***"));
+    }
+}

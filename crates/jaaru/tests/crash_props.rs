@@ -1,0 +1,181 @@
+//! Property-based tests of crash semantics: whatever the schedule and the
+//! persistence policy, the persisted state is always a per-line prefix of
+//! the committed stores, floors are respected, and runs are deterministic.
+
+use std::sync::{Arc, Mutex};
+
+use jaaru::{Atomicity, Ctx, Engine, PersistencePolicy, Program, SchedPolicy};
+use proptest::prelude::*;
+
+/// A tiny op language over 8 root slots (slots 0..4 share cache line 0 —
+/// slots are 8 bytes, the root is line-aligned — and 8..12 live on line 1).
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Store { slot: u64, value: u64 },
+    Clflush { slot: u64 },
+    Clwb { slot: u64 },
+    Sfence,
+    Mfence,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..8, 1u64..1000).prop_map(|(slot, value)| Op::Store { slot, value }),
+        (0u64..8).prop_map(|slot| Op::Clflush { slot }),
+        (0u64..8).prop_map(|slot| Op::Clwb { slot }),
+        Just(Op::Sfence),
+        Just(Op::Mfence),
+    ]
+}
+
+fn build_program(ops: Vec<Op>, out: Arc<Mutex<Vec<u64>>>) -> Program {
+    Program::new("prop")
+        .pre_crash(move |ctx: &mut Ctx| {
+            for op in &ops {
+                match *op {
+                    Op::Store { slot, value } => {
+                        ctx.store_u64(ctx.root_slot(slot), value, Atomicity::Plain, "slot")
+                    }
+                    Op::Clflush { slot } => ctx.clflush(ctx.root_slot(slot)),
+                    Op::Clwb { slot } => ctx.clwb(ctx.root_slot(slot)),
+                    Op::Sfence => ctx.sfence(),
+                    Op::Mfence => ctx.mfence(),
+                }
+            }
+        })
+        .post_crash(move |ctx: &mut Ctx| {
+            let mut values = Vec::new();
+            for slot in 0..8 {
+                values.push(ctx.load_u64(ctx.root_slot(slot), Atomicity::Plain));
+            }
+            *out.lock().unwrap() = values;
+        })
+}
+
+fn run(ops: &[Op], policy: PersistencePolicy, sched: SchedPolicy, seed: u64) -> Vec<u64> {
+    let out = Arc::new(Mutex::new(Vec::new()));
+    let program = build_program(ops.to_vec(), out.clone());
+    Engine::run_single(&program, sched, policy, seed, None, Box::new(jaaru::NullSink));
+    let v = out.lock().unwrap().clone();
+    v
+}
+
+/// All values ever stored to `slot`, in program order.
+fn stored_values(ops: &[Op], slot: u64) -> Vec<u64> {
+    ops.iter()
+        .filter_map(|op| match *op {
+            Op::Store { slot: s, value } if s == slot => Some(value),
+            _ => None,
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn full_cache_persists_the_final_values(ops in proptest::collection::vec(arb_op(), 1..20)) {
+        let got = run(&ops, PersistencePolicy::FullCache, SchedPolicy::Deterministic, 0);
+        for slot in 0..8u64 {
+            let expect = stored_values(&ops, slot).last().copied().unwrap_or(0);
+            prop_assert_eq!(got[slot as usize], expect, "slot {}", slot);
+        }
+    }
+
+    #[test]
+    fn every_persisted_value_was_stored(
+        ops in proptest::collection::vec(arb_op(), 1..20),
+        seed in 0u64..16,
+    ) {
+        let got = run(&ops, PersistencePolicy::Random, SchedPolicy::RandomChoice, seed);
+        for slot in 0..8u64 {
+            let stored = stored_values(&ops, slot);
+            prop_assert!(
+                got[slot as usize] == 0 || stored.contains(&got[slot as usize]),
+                "slot {} holds {} which was never stored",
+                slot,
+                got[slot as usize]
+            );
+        }
+    }
+
+    #[test]
+    fn floor_only_respects_clflush(ops in proptest::collection::vec(arb_op(), 1..20)) {
+        // Under FloorOnly + deterministic schedule, a store followed (in
+        // program order) by a clflush of its slot is persisted, and the
+        // observed value is the one the *last* pre-flush store wrote unless
+        // a later flushed store overwrote it.
+        let got = run(&ops, PersistencePolicy::FloorOnly, SchedPolicy::Deterministic, 0);
+        for slot in 0..8u64 {
+            // Compute the expected floor value: replay program order, value
+            // becomes durable at each clflush/ (clwb; later fence) of the
+            // same cache line.
+            let mut current = None;
+            let mut durable = None;
+            let mut wb_pending: Option<u64> = None; // clwb'd value awaiting fence
+            for op in &ops {
+                match *op {
+                    Op::Store { slot: s, value } if s == slot => current = Some(value),
+                    // Same cache line: slots 0..8 all share line 0 of the
+                    // root region? No: 8 slots x 8 bytes = 64 bytes = ONE
+                    // line. All slots share the line, so any flush covers
+                    // all of them.
+                    Op::Clflush { .. } => durable = current.or(durable),
+                    Op::Clwb { .. } => wb_pending = current,
+                    Op::Sfence | Op::Mfence => {
+                        if let Some(v) = wb_pending.take() {
+                            durable = Some(v);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            let expect = durable.unwrap_or(0);
+            prop_assert_eq!(got[slot as usize], expect, "slot {}", slot);
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic_per_seed(
+        ops in proptest::collection::vec(arb_op(), 1..20),
+        seed in 0u64..16,
+    ) {
+        let a = run(&ops, PersistencePolicy::Random, SchedPolicy::RandomChoice, seed);
+        let b = run(&ops, PersistencePolicy::Random, SchedPolicy::RandomChoice, seed);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn persistence_is_a_per_line_prefix(
+        ops in proptest::collection::vec(arb_op(), 1..20),
+        seed in 0u64..16,
+    ) {
+        // All 8 slots share one cache line; under a deterministic schedule
+        // commits happen in program order, so if a later store's value is
+        // visible post-crash, every earlier store to the line must also be
+        // applied (its slot holds its last-before-that-point value, not an
+        // older one). We verify a weaker but exact consequence: the
+        // post-crash line state equals the replay of some program-order
+        // prefix of the stores.
+        let got = run(&ops, PersistencePolicy::Random, SchedPolicy::Deterministic, seed);
+        let stores: Vec<(u64, u64)> = ops
+            .iter()
+            .filter_map(|op| match *op {
+                Op::Store { slot, value } => Some((slot, value)),
+                _ => None,
+            })
+            .collect();
+        let mut found = false;
+        for cut in 0..=stores.len() {
+            let mut state = [0u64; 8];
+            for &(slot, value) in &stores[..cut] {
+                state[slot as usize] = value;
+            }
+            if state.as_slice() == got.as_slice() {
+                found = true;
+                break;
+            }
+        }
+        prop_assert!(found, "state {:?} is not a program-order prefix replay", got);
+    }
+}

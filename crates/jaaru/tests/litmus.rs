@@ -1,0 +1,192 @@
+//! Classic x86-TSO litmus tests, run under random schedules and eviction
+//! timing: the simulator must be able to produce the TSO-allowed relaxed
+//! outcomes (store-buffer effects) and must never produce forbidden ones.
+
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use jaaru::{Atomicity, Ctx, Engine, PersistencePolicy, Program, SchedPolicy};
+
+/// Runs a two-thread litmus body over many seeds, collecting `(r1, r2)`
+/// outcomes.
+fn explore<F>(build: F, seeds: std::ops::Range<u64>) -> BTreeSet<(u64, u64)>
+where
+    F: Fn(Arc<AtomicU64>, Arc<AtomicU64>) -> Program,
+{
+    let mut outcomes = BTreeSet::new();
+    for seed in seeds {
+        let r1 = Arc::new(AtomicU64::new(u64::MAX));
+        let r2 = Arc::new(AtomicU64::new(u64::MAX));
+        let program = build(r1.clone(), r2.clone());
+        Engine::run_single(
+            &program,
+            SchedPolicy::RandomChoice,
+            PersistencePolicy::FullCache,
+            seed,
+            None,
+            Box::new(jaaru::NullSink),
+        );
+        outcomes.insert((r1.load(Ordering::SeqCst), r2.load(Ordering::SeqCst)));
+    }
+    outcomes
+}
+
+#[test]
+fn store_buffering_allows_both_zero() {
+    // SB: t1: x=1; r1=y   t2: y=1; r2=x
+    // TSO allows (0,0) — each thread's store may still sit in its buffer
+    // when the other thread loads. All four outcomes are allowed.
+    let build = |r1: Arc<AtomicU64>, r2: Arc<AtomicU64>| {
+        Program::new("SB").pre_crash(move |ctx: &mut Ctx| {
+            let x = ctx.root();
+            let y = ctx.root_slot(32);
+            let r1c = r1.clone();
+            let r2c = r2.clone();
+            let h1 = ctx.spawn(move |t: &mut Ctx| {
+                t.store_u64(x, 1, Atomicity::Plain, "x");
+                r1c.store(t.load_u64(y, Atomicity::Plain), Ordering::SeqCst);
+            });
+            let h2 = ctx.spawn(move |t: &mut Ctx| {
+                t.store_u64(y, 1, Atomicity::Plain, "y");
+                r2c.store(t.load_u64(x, Atomicity::Plain), Ordering::SeqCst);
+            });
+            ctx.join(h1);
+            ctx.join(h2);
+        })
+    };
+    let outcomes = explore(build, 0..200);
+    assert!(
+        outcomes.contains(&(0, 0)),
+        "the TSO store-buffering outcome (0,0) must be reachable: {outcomes:?}"
+    );
+    for o in &outcomes {
+        assert!(
+            [(0, 0), (0, 1), (1, 0), (1, 1)].contains(o),
+            "impossible outcome {o:?}"
+        );
+    }
+}
+
+#[test]
+fn store_buffering_with_mfence_forbids_both_zero() {
+    // SB + mfence between the store and the load on both sides: (0,0)
+    // becomes forbidden (the fence drains the buffer first).
+    let build = |r1: Arc<AtomicU64>, r2: Arc<AtomicU64>| {
+        Program::new("SB+mfence").pre_crash(move |ctx: &mut Ctx| {
+            let x = ctx.root();
+            let y = ctx.root_slot(32);
+            let r1c = r1.clone();
+            let r2c = r2.clone();
+            let h1 = ctx.spawn(move |t: &mut Ctx| {
+                t.store_u64(x, 1, Atomicity::Plain, "x");
+                t.mfence();
+                r1c.store(t.load_u64(y, Atomicity::Plain), Ordering::SeqCst);
+            });
+            let h2 = ctx.spawn(move |t: &mut Ctx| {
+                t.store_u64(y, 1, Atomicity::Plain, "y");
+                t.mfence();
+                r2c.store(t.load_u64(x, Atomicity::Plain), Ordering::SeqCst);
+            });
+            ctx.join(h1);
+            ctx.join(h2);
+        })
+    };
+    let outcomes = explore(build, 0..200);
+    assert!(
+        !outcomes.contains(&(0, 0)),
+        "mfence must forbid (0,0): {outcomes:?}"
+    );
+}
+
+#[test]
+fn message_passing_is_ordered_under_tso() {
+    // MP: t1: data=42; flag=1   t2: r1=flag; r2=data
+    // TSO preserves store→store and load→load order, so r1=1 ∧ r2=0 is
+    // forbidden even with plain stores.
+    let build = |r1: Arc<AtomicU64>, r2: Arc<AtomicU64>| {
+        Program::new("MP").pre_crash(move |ctx: &mut Ctx| {
+            let data = ctx.root();
+            let flag = ctx.root_slot(32);
+            let r1c = r1.clone();
+            let r2c = r2.clone();
+            let h1 = ctx.spawn(move |t: &mut Ctx| {
+                t.store_u64(data, 42, Atomicity::Plain, "data");
+                t.store_u64(flag, 1, Atomicity::Plain, "flag");
+            });
+            let h2 = ctx.spawn(move |t: &mut Ctx| {
+                r1c.store(t.load_u64(flag, Atomicity::Plain), Ordering::SeqCst);
+                r2c.store(t.load_u64(data, Atomicity::Plain), Ordering::SeqCst);
+            });
+            ctx.join(h1);
+            ctx.join(h2);
+        })
+    };
+    let outcomes = explore(build, 0..200);
+    assert!(
+        !outcomes.contains(&(1, 0)),
+        "TSO forbids observing the flag without the data: {outcomes:?}"
+    );
+    assert!(
+        outcomes.contains(&(1, 42)),
+        "the intended hand-off should be reachable: {outcomes:?}"
+    );
+}
+
+#[test]
+fn same_thread_bypassing_reads_own_buffered_store() {
+    // A thread always sees its own latest store (store-to-load forwarding),
+    // whatever the eviction timing.
+    for seed in 0..50 {
+        let out = Arc::new(AtomicU64::new(0));
+        let o = out.clone();
+        let program = Program::new("fwd").pre_crash(move |ctx: &mut Ctx| {
+            let x = ctx.root();
+            ctx.store_u64(x, 7, Atomicity::Plain, "x");
+            ctx.store_u64(x, 8, Atomicity::Plain, "x");
+            o.store(ctx.load_u64(x, Atomicity::Plain), Ordering::SeqCst);
+        });
+        Engine::run_single(
+            &program,
+            SchedPolicy::RandomChoice,
+            PersistencePolicy::FullCache,
+            seed,
+            None,
+            Box::new(jaaru::NullSink),
+        );
+        assert_eq!(out.load(Ordering::SeqCst), 8, "seed {seed}");
+    }
+}
+
+#[test]
+fn cas_acts_as_a_full_barrier() {
+    // SB with a successful CAS (to an unrelated location) between store and
+    // load: (0,0) forbidden, like mfence.
+    let build = |r1: Arc<AtomicU64>, r2: Arc<AtomicU64>| {
+        Program::new("SB+cas").pre_crash(move |ctx: &mut Ctx| {
+            let x = ctx.root();
+            let y = ctx.root_slot(32);
+            let scratch1 = ctx.root_slot(40);
+            let scratch2 = ctx.root_slot(48);
+            let r1c = r1.clone();
+            let r2c = r2.clone();
+            let h1 = ctx.spawn(move |t: &mut Ctx| {
+                t.store_u64(x, 1, Atomicity::Plain, "x");
+                let _ = t.cas_u64(scratch1, 0, 1, "s1");
+                r1c.store(t.load_u64(y, Atomicity::Plain), Ordering::SeqCst);
+            });
+            let h2 = ctx.spawn(move |t: &mut Ctx| {
+                t.store_u64(y, 1, Atomicity::Plain, "y");
+                let _ = t.cas_u64(scratch2, 0, 1, "s2");
+                r2c.store(t.load_u64(x, Atomicity::Plain), Ordering::SeqCst);
+            });
+            ctx.join(h1);
+            ctx.join(h2);
+        })
+    };
+    let outcomes = explore(build, 0..200);
+    assert!(
+        !outcomes.contains(&(0, 0)),
+        "locked RMW must forbid (0,0): {outcomes:?}"
+    );
+}

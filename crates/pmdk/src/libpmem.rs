@@ -1,0 +1,116 @@
+//! The `libpmem` low-level flush API.
+//!
+//! Memcached-pmem uses these calls directly (§7.1: "uses low-level libpmem
+//! APIs to flush cache lines"); the pool, ulog, and transaction layers are
+//! built on them as well.
+
+use jaaru::Ctx;
+use pmem::Addr;
+
+/// `pmem_flush`: issues a `clwb` for every cache line of the range. The
+/// write-back is not guaranteed until a subsequent [`pmem_drain`].
+pub fn pmem_flush(ctx: &mut Ctx, addr: Addr, len: u64) {
+    for line in addr.lines_in_range(len) {
+        ctx.clwb(line.base());
+    }
+}
+
+/// `pmem_drain`: an `sfence`, completing prior `clwb`s.
+pub fn pmem_drain(ctx: &mut Ctx) {
+    ctx.sfence();
+}
+
+/// `pmem_persist`: flush + drain.
+pub fn pmem_persist(ctx: &mut Ctx, addr: Addr, len: u64) {
+    pmem_flush(ctx, addr, len);
+    pmem_drain(ctx);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jaaru::{Atomicity, Engine, PersistencePolicy, Program, SchedPolicy};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn persist_survives_floor_only_crash() {
+        let seen = Arc::new(AtomicU64::new(0));
+        let s = seen.clone();
+        let program = Program::new("t")
+            .pre_crash(|ctx: &mut Ctx| {
+                let a = ctx.root();
+                ctx.store_u64(a, 9, Atomicity::Plain, "x");
+                pmem_persist(ctx, a, 8);
+            })
+            .post_crash(move |ctx: &mut Ctx| {
+                let a = ctx.root();
+                s.store(ctx.load_u64(a, Atomicity::Plain), Ordering::SeqCst);
+            });
+        Engine::run_single(
+            &program,
+            SchedPolicy::Deterministic,
+            PersistencePolicy::FloorOnly,
+            0,
+            None,
+            Box::new(jaaru::NullSink),
+        );
+        assert_eq!(seen.load(Ordering::SeqCst), 9);
+    }
+
+    #[test]
+    fn flush_without_drain_is_not_durable() {
+        let seen = Arc::new(AtomicU64::new(77));
+        let s = seen.clone();
+        let program = Program::new("t")
+            .pre_crash(|ctx: &mut Ctx| {
+                let a = ctx.root();
+                ctx.store_u64(a, 9, Atomicity::Plain, "x");
+                pmem_flush(ctx, a, 8); // no drain
+            })
+            .post_crash(move |ctx: &mut Ctx| {
+                let a = ctx.root();
+                s.store(ctx.load_u64(a, Atomicity::Plain), Ordering::SeqCst);
+            });
+        Engine::run_single(
+            &program,
+            SchedPolicy::Deterministic,
+            PersistencePolicy::FloorOnly,
+            0,
+            None,
+            Box::new(jaaru::NullSink),
+        );
+        assert_eq!(seen.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn persist_spans_multiple_lines() {
+        let seen = Arc::new(AtomicU64::new(0));
+        let s = seen.clone();
+        let program = Program::new("t")
+            .pre_crash(|ctx: &mut Ctx| {
+                let a = ctx.root();
+                for i in 0..16 {
+                    ctx.store_u64(a + i * 8, i + 1, Atomicity::Plain, "arr");
+                }
+                pmem_persist(ctx, a, 16 * 8);
+            })
+            .post_crash(move |ctx: &mut Ctx| {
+                let a = ctx.root();
+                let mut acc = 0;
+                for i in 0..16 {
+                    acc += ctx.load_u64(a + i * 8, Atomicity::Plain);
+                }
+                s.store(acc, Ordering::SeqCst);
+            });
+        Engine::run_single(
+            &program,
+            SchedPolicy::Deterministic,
+            PersistencePolicy::FloorOnly,
+            0,
+            None,
+            Box::new(jaaru::NullSink),
+        );
+        assert_eq!(seen.load(Ordering::SeqCst), (1..=16).sum::<u64>());
+    }
+}

@@ -1,0 +1,265 @@
+//! The undo log (`ulog.c`): snapshot-before-modify journaling.
+//!
+//! Every entry is fully written, checksummed, and persisted *before* the
+//! unused-entry pointer (`used`) advances — but that pointer itself is a
+//! **non-atomic** store, and post-crash recovery reads it before anything
+//! else. That store is the persistency race Yashme found in PMDK (Table 4
+//! bug #1, "pointer to ulog_entry in ulog.c").
+
+use jaaru::{Atomicity, Ctx};
+use pmem::Addr;
+
+use crate::libpmem::pmem_persist;
+use crate::ULOG_RACE_LABEL;
+
+/// Maximum journaled bytes per entry.
+pub const MAX_RANGE: u64 = 32;
+
+/// Entries per log.
+pub const CAPACITY: u64 = 32;
+
+const ENTRY_STRIDE: u64 = 64;
+const OFF_DST: u64 = 0;
+const OFF_LEN: u64 = 8;
+const OFF_CHECKSUM: u64 = 16;
+const OFF_DATA: u64 = 24;
+
+fn entry_checksum(dst: u64, len: u64, data: &[u8]) -> u64 {
+    let mut h = dst
+        .rotate_left(11)
+        .wrapping_mul(31)
+        .wrapping_add(len.rotate_left(3));
+    for &b in data {
+        h = h.wrapping_mul(131).wrapping_add(b as u64 + 7);
+    }
+    h | 1 // never zero, so an unwritten checksum never validates
+}
+
+/// A persistent undo log.
+#[derive(Debug, Clone, Copy)]
+pub struct Ulog {
+    base: Addr,
+}
+
+impl Ulog {
+    /// Allocates and zero-initializes a log without publishing its address
+    /// (the pool stores the address in its checksummed header).
+    pub fn create_area(ctx: &mut Ctx) -> Ulog {
+        let bytes = 64 + CAPACITY * ENTRY_STRIDE;
+        let base = ctx.alloc_line_aligned(bytes);
+        // The `used` pointer is one field across its whole lifetime: its
+        // zero-initialization is the same racy store site as its updates.
+        ctx.store_u64(base, 0, Atomicity::Plain, ULOG_RACE_LABEL);
+        ctx.memset(base + 64, 0, bytes - 64, "ulog init memset");
+        pmem_persist(ctx, base, bytes);
+        Ulog { base }
+    }
+
+    /// Allocates and zero-initializes a log, publishing its address at
+    /// `slot`.
+    pub fn create(ctx: &mut Ctx, slot: Addr) -> Ulog {
+        let log = Self::create_area(ctx);
+        ctx.store_u64(slot, log.base.raw(), Atomicity::Plain, "pool.ulog_ptr");
+        pmem_persist(ctx, slot, 8);
+        log
+    }
+
+    /// Re-opens a log from a raw (already validated) base address.
+    pub fn from_base(raw: u64) -> Option<Ulog> {
+        let base = Addr(raw);
+        if base.is_null() || raw < Addr::BASE.raw() || raw > Addr::BASE.raw() + (1 << 30) {
+            return None;
+        }
+        Some(Ulog { base })
+    }
+
+    /// Re-opens the log from its published address.
+    pub fn open(ctx: &mut Ctx, slot: Addr) -> Option<Ulog> {
+        let raw = ctx.load_u64(slot, Atomicity::Plain);
+        Self::from_base(raw)
+    }
+
+    /// The log's base address.
+    pub fn base(&self) -> Addr {
+        self.base
+    }
+
+    fn used_addr(&self) -> Addr {
+        self.base
+    }
+
+    fn entry_addr(&self, i: u64) -> Addr {
+        self.base + 64 + i * ENTRY_STRIDE
+    }
+
+    /// Number of live entries (the racy pointer, read plainly).
+    pub fn used(&self, ctx: &mut Ctx) -> u64 {
+        ctx.load_u64(self.used_addr(), Atomicity::Plain)
+    }
+
+    /// Journals the current contents of `[addr, addr+len)`:
+    /// write-entry → checksum → persist entry → advance `used`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > MAX_RANGE` or the log is full (a driver bug).
+    pub fn add_range(&self, ctx: &mut Ctx, addr: Addr, len: u64) {
+        assert!(len <= MAX_RANGE, "range too large for one ulog entry");
+        let used = self.used(ctx).min(CAPACITY);
+        assert!(used < CAPACITY, "ulog full");
+        let entry = self.entry_addr(used);
+        let old = ctx.load_bytes(addr, len, Atomicity::Plain);
+        ctx.store_u64(entry + OFF_DST, addr.raw(), Atomicity::Plain, "ulog.entry_dst");
+        ctx.store_u64(entry + OFF_LEN, len, Atomicity::Plain, "ulog.entry_len");
+        ctx.store_bytes(entry + OFF_DATA, &old, Atomicity::Plain, "ulog.entry_data");
+        let sum = entry_checksum(addr.raw(), len, &old);
+        ctx.store_u64(entry + OFF_CHECKSUM, sum, Atomicity::Plain, "ulog.entry_checksum");
+        pmem_persist(ctx, entry, ENTRY_STRIDE);
+        // The racy non-atomic store: the unused-entry pointer.
+        ctx.store_u64(self.used_addr(), used + 1, Atomicity::Plain, ULOG_RACE_LABEL);
+        pmem_persist(ctx, self.used_addr(), 8);
+    }
+
+    /// Discards the journal after a successful commit.
+    pub fn reset(&self, ctx: &mut Ctx) {
+        ctx.store_u64(self.used_addr(), 0, Atomicity::Plain, ULOG_RACE_LABEL);
+        pmem_persist(ctx, self.used_addr(), 8);
+    }
+
+    /// Post-crash recovery: read `used` (the race-observing load), validate
+    /// each entry's checksum, and roll the snapshots back.
+    ///
+    /// Returns the number of entries rolled back.
+    pub fn recover(&self, ctx: &mut Ctx) -> u64 {
+        let used = self.used(ctx).min(CAPACITY);
+        let mut rolled_back = 0;
+        for i in 0..used {
+            let entry = self.entry_addr(i);
+            // Entry reads are checksum-validated: torn entries are
+            // discarded, so races here are benign (§7.5).
+            ctx.set_checksum_scope(true);
+            let dst = ctx.load_u64(entry + OFF_DST, Atomicity::Plain);
+            let len = ctx.load_u64(entry + OFF_LEN, Atomicity::Plain).min(MAX_RANGE);
+            let sum = ctx.load_u64(entry + OFF_CHECKSUM, Atomicity::Plain);
+            let data = ctx.load_bytes(entry + OFF_DATA, len, Atomicity::Plain);
+            ctx.set_checksum_scope(false);
+            if sum != entry_checksum(dst, len, &data) {
+                continue; // torn or unwritten entry: validation rejects it
+            }
+            ctx.store_bytes(Addr(dst), &data, Atomicity::Plain, "ulog.rollback");
+            pmem_persist(ctx, Addr(dst), len);
+            rolled_back += 1;
+        }
+        self.reset(ctx);
+        rolled_back
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jaaru::{Engine, PersistencePolicy, Program, SchedPolicy};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    const ULOG_SLOT: u64 = 11;
+
+    #[test]
+    fn checksum_rejects_unwritten_entries() {
+        assert_ne!(entry_checksum(0, 0, &[]), 0);
+        assert_ne!(entry_checksum(1, 8, &[1; 8]), entry_checksum(2, 8, &[1; 8]));
+        assert_ne!(entry_checksum(1, 8, &[1; 8]), entry_checksum(1, 8, &[2; 8]));
+    }
+
+    #[test]
+    fn uncommitted_modification_is_rolled_back() {
+        let after = Arc::new(AtomicU64::new(0));
+        let a2 = after.clone();
+        let program = Program::new("t")
+            .pre_crash(|ctx: &mut Ctx| {
+                let x = ctx.root();
+                ctx.store_u64(x, 10, Atomicity::Plain, "x");
+                pmem_persist(ctx, x, 8);
+                let log = Ulog::create(ctx, ctx.root_slot(ULOG_SLOT));
+                // Begin a transaction-like update that never commits.
+                log.add_range(ctx, x, 8);
+                ctx.store_u64(x, 99, Atomicity::Plain, "x");
+                pmem_persist(ctx, x, 8);
+                // crash before reset()
+            })
+            .post_crash(move |ctx: &mut Ctx| {
+                let x = ctx.root();
+                if let Some(log) = Ulog::open(ctx, ctx.root_slot(ULOG_SLOT)) {
+                    log.recover(ctx);
+                }
+                a2.store(ctx.load_u64(x, Atomicity::Plain), Ordering::SeqCst);
+            });
+        Engine::run_single(
+            &program,
+            SchedPolicy::Deterministic,
+            PersistencePolicy::FullCache,
+            0,
+            None,
+            Box::new(jaaru::NullSink),
+        );
+        assert_eq!(after.load(Ordering::SeqCst), 10, "rollback restored x");
+    }
+
+    #[test]
+    fn committed_modification_is_kept() {
+        let after = Arc::new(AtomicU64::new(0));
+        let a2 = after.clone();
+        let program = Program::new("t")
+            .pre_crash(|ctx: &mut Ctx| {
+                let x = ctx.root();
+                ctx.store_u64(x, 10, Atomicity::Plain, "x");
+                pmem_persist(ctx, x, 8);
+                let log = Ulog::create(ctx, ctx.root_slot(ULOG_SLOT));
+                log.add_range(ctx, x, 8);
+                ctx.store_u64(x, 99, Atomicity::Plain, "x");
+                pmem_persist(ctx, x, 8);
+                log.reset(ctx); // commit
+            })
+            .post_crash(move |ctx: &mut Ctx| {
+                let x = ctx.root();
+                if let Some(log) = Ulog::open(ctx, ctx.root_slot(ULOG_SLOT)) {
+                    assert_eq!(log.recover(ctx), 0, "nothing to roll back");
+                }
+                a2.store(ctx.load_u64(x, Atomicity::Plain), Ordering::SeqCst);
+            });
+        Engine::run_single(
+            &program,
+            SchedPolicy::Deterministic,
+            PersistencePolicy::FullCache,
+            0,
+            None,
+            Box::new(jaaru::NullSink),
+        );
+        assert_eq!(after.load(Ordering::SeqCst), 99);
+    }
+
+    #[test]
+    fn detector_reports_the_ulog_race() {
+        // The headline PMDK bug: the `used` pointer store is non-atomic and
+        // recovery reads it post-crash.
+        let program = Program::new("t")
+            .pre_crash(|ctx: &mut Ctx| {
+                let x = ctx.root();
+                let log = Ulog::create(ctx, ctx.root_slot(ULOG_SLOT));
+                log.add_range(ctx, x, 8);
+                ctx.store_u64(x, 99, Atomicity::Plain, "x");
+                pmem_persist(ctx, x, 8);
+                log.reset(ctx);
+            })
+            .post_crash(|ctx: &mut Ctx| {
+                if let Some(log) = Ulog::open(ctx, ctx.root_slot(ULOG_SLOT)) {
+                    log.recover(ctx);
+                }
+            });
+        let report = yashme::model_check(&program);
+        assert!(
+            report.race_labels().contains(&crate::ULOG_RACE_LABEL),
+            "{report}"
+        );
+    }
+}

@@ -1,0 +1,172 @@
+//! A byte image of the simulated persistent storage.
+
+use std::collections::HashMap;
+
+use crate::addr::{Addr, CacheLineId, CACHE_LINE_SIZE};
+
+/// The contents of persistent storage, as a sparse map of cache lines.
+///
+/// A `PmImage` is what survives a crash: the execution engine computes the
+/// persisted bytes for every cache line (according to the flushes that took
+/// effect and the chosen persistence point) and materializes them here. The
+/// post-crash execution reads initial values out of the image.
+///
+/// Unwritten bytes read as zero, matching the convention that fresh
+/// persistent pools are zero-initialized.
+///
+/// # Examples
+///
+/// ```
+/// use pmem::{Addr, PmImage};
+/// let mut img = PmImage::new();
+/// img.write_u32(Addr(0x1000), 7);
+/// assert_eq!(img.read_u32(Addr(0x1000)), 7);
+/// assert_eq!(img.read_u8(Addr(0x2000)), 0); // untouched → zero
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PmImage {
+    lines: HashMap<CacheLineId, Box<[u8; CACHE_LINE_SIZE as usize]>>,
+}
+
+impl PmImage {
+    /// Creates an empty (all-zero) image.
+    pub fn new() -> Self {
+        PmImage::default()
+    }
+
+    /// Reads `buf.len()` bytes starting at `addr`.
+    pub fn read(&self, addr: Addr, buf: &mut [u8]) {
+        for (i, byte) in buf.iter_mut().enumerate() {
+            *byte = self.read_u8(addr + i as u64);
+        }
+    }
+
+    /// Writes the bytes of `data` starting at `addr`.
+    pub fn write(&mut self, addr: Addr, data: &[u8]) {
+        for (i, &byte) in data.iter().enumerate() {
+            self.write_u8(addr + i as u64, byte);
+        }
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&self, addr: Addr) -> u8 {
+        match self.lines.get(&addr.cache_line()) {
+            Some(line) => line[addr.line_offset() as usize],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, addr: Addr, value: u8) {
+        let line = self
+            .lines
+            .entry(addr.cache_line())
+            .or_insert_with(|| Box::new([0u8; CACHE_LINE_SIZE as usize]));
+        line[addr.line_offset() as usize] = value;
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn read_u16(&self, addr: Addr) -> u16 {
+        let mut b = [0u8; 2];
+        self.read(addr, &mut b);
+        u16::from_le_bytes(b)
+    }
+
+    /// Writes a little-endian `u16`.
+    pub fn write_u16(&mut self, addr: Addr, value: u16) {
+        self.write(addr, &value.to_le_bytes());
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn read_u32(&self, addr: Addr) -> u32 {
+        let mut b = [0u8; 4];
+        self.read(addr, &mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Writes a little-endian `u32`.
+    pub fn write_u32(&mut self, addr: Addr, value: u32) {
+        self.write(addr, &value.to_le_bytes());
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn read_u64(&self, addr: Addr) -> u64 {
+        let mut b = [0u8; 8];
+        self.read(addr, &mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Writes a little-endian `u64`.
+    pub fn write_u64(&mut self, addr: Addr, value: u64) {
+        self.write(addr, &value.to_le_bytes());
+    }
+
+    /// Number of distinct cache lines ever written.
+    pub fn touched_lines(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Returns `true` if no byte has ever been written.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    /// Removes all contents, returning the image to all-zero.
+    pub fn clear(&mut self) {
+        self.lines.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwritten_bytes_read_zero() {
+        let img = PmImage::new();
+        assert_eq!(img.read_u64(Addr(0x40)), 0);
+        assert!(img.is_empty());
+    }
+
+    #[test]
+    fn roundtrip_integers() {
+        let mut img = PmImage::new();
+        img.write_u8(Addr(1), 0xab);
+        img.write_u16(Addr(2), 0x1234);
+        img.write_u32(Addr(4), 0xdead_beef);
+        img.write_u64(Addr(8), 0x0102_0304_0506_0708);
+        assert_eq!(img.read_u8(Addr(1)), 0xab);
+        assert_eq!(img.read_u16(Addr(2)), 0x1234);
+        assert_eq!(img.read_u32(Addr(4)), 0xdead_beef);
+        assert_eq!(img.read_u64(Addr(8)), 0x0102_0304_0506_0708);
+    }
+
+    #[test]
+    fn writes_crossing_line_boundaries() {
+        let mut img = PmImage::new();
+        // 8 bytes starting 4 before a line boundary.
+        img.write_u64(Addr(60), 0x1122_3344_5566_7788);
+        assert_eq!(img.read_u64(Addr(60)), 0x1122_3344_5566_7788);
+        assert_eq!(img.touched_lines(), 2);
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let mut img = PmImage::new();
+        img.write_u32(Addr(0), 0x0403_0201);
+        assert_eq!(img.read_u8(Addr(0)), 0x01);
+        assert_eq!(img.read_u8(Addr(3)), 0x04);
+    }
+
+    #[test]
+    fn partial_overwrite_mixes_bytes() {
+        // The key behaviour for torn stores: writing only some bytes of a
+        // field leaves a mix of old and new bytes.
+        let mut img = PmImage::new();
+        img.write_u64(Addr(0), 0);
+        img.write_u32(Addr(0), 0x1234_5678); // low half of a 64-bit store
+        assert_eq!(img.read_u64(Addr(0)), 0x1234_5678);
+        img.clear();
+        assert!(img.is_empty());
+    }
+}

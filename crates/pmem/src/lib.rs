@@ -1,0 +1,39 @@
+//! Simulated persistent-memory substrate.
+//!
+//! The paper's tooling simulates an x86 persistent storage system rather than
+//! running on Optane hardware; this crate provides the storage-side pieces of
+//! that simulation:
+//!
+//! * [`Addr`] and [`CacheLineId`] — the simulated physical address space and
+//!   its 64-byte cache-line geometry,
+//! * [`PmImage`] — a byte image representing the contents of persistent
+//!   storage (what survives a crash),
+//! * [`PmAllocator`] — a simple persistent-heap allocator the benchmark data
+//!   structures allocate their nodes from,
+//! * [`StructLayout`] — a helper for laying out C-style structs in simulated
+//!   PM with natural field alignment, so benchmark ports can mirror the
+//!   field-level layout (and cache-line co-residency) of the original C++
+//!   code.
+//!
+//! # Examples
+//!
+//! ```
+//! use pmem::{Addr, PmAllocator, PmImage, CACHE_LINE_SIZE};
+//!
+//! let mut alloc = PmAllocator::new(Addr::BASE, 1 << 20);
+//! let a = alloc.alloc(16, 8).expect("in bounds");
+//! let mut image = PmImage::new();
+//! image.write_u64(a, 0xdead_beef);
+//! assert_eq!(image.read_u64(a), 0xdead_beef);
+//! assert_eq!(CACHE_LINE_SIZE, 64);
+//! ```
+
+mod addr;
+mod alloc;
+mod image;
+mod layout;
+
+pub use addr::{Addr, CacheLineId, CACHE_LINE_SIZE};
+pub use alloc::{AllocError, PmAllocator};
+pub use image::PmImage;
+pub use layout::{Field, StructLayout};

@@ -1,0 +1,110 @@
+//! Property-based tests for the allocator and the persistent image.
+
+use pmem::{Addr, PmAllocator, PmImage, StructLayout};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+enum AllocOp {
+    Alloc { size: u64, align_pow: u32 },
+    FreeNth(usize),
+}
+
+fn arb_alloc_op() -> impl Strategy<Value = AllocOp> {
+    prop_oneof![
+        3 => (1u64..200, 0u32..7).prop_map(|(size, align_pow)| AllocOp::Alloc { size, align_pow }),
+        1 => (0usize..32).prop_map(AllocOp::FreeNth),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn live_allocations_never_overlap(ops in proptest::collection::vec(arb_alloc_op(), 1..40)) {
+        let mut alloc = PmAllocator::new(Addr::BASE, 1 << 20);
+        let mut live: Vec<(Addr, u64)> = Vec::new();
+        for op in ops {
+            match op {
+                AllocOp::Alloc { size, align_pow } => {
+                    let align = 1u64 << align_pow;
+                    if let Ok(addr) = alloc.alloc(size, align) {
+                        prop_assert!(addr.is_aligned(align));
+                        for &(other, olen) in &live {
+                            let disjoint =
+                                addr + size <= other || other + olen <= addr;
+                            prop_assert!(
+                                disjoint,
+                                "{addr}+{size} overlaps {other}+{olen}"
+                            );
+                        }
+                        live.push((addr, size));
+                    }
+                }
+                AllocOp::FreeNth(n) => {
+                    if !live.is_empty() {
+                        let (addr, size) = live.remove(n % live.len());
+                        alloc.free(addr, size);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn allocator_accounting_is_exact(sizes in proptest::collection::vec(1u64..100, 1..20)) {
+        let mut alloc = PmAllocator::new(Addr::BASE, 1 << 20);
+        let mut blocks = Vec::new();
+        let mut total = 0;
+        for &s in &sizes {
+            blocks.push((alloc.alloc(s, 8).unwrap(), s));
+            total += s;
+            prop_assert_eq!(alloc.allocated_bytes(), total);
+        }
+        for (a, s) in blocks {
+            alloc.free(a, s);
+            total -= s;
+            prop_assert_eq!(alloc.allocated_bytes(), total);
+        }
+    }
+
+    #[test]
+    fn image_write_read_roundtrip(
+        writes in proptest::collection::vec((0u64..512, proptest::collection::vec(any::<u8>(), 1..24)), 1..20)
+    ) {
+        let mut img = PmImage::new();
+        let mut model: std::collections::HashMap<u64, u8> = std::collections::HashMap::new();
+        for (addr, data) in &writes {
+            img.write(Addr(*addr), data);
+            for (i, &b) in data.iter().enumerate() {
+                model.insert(addr + i as u64, b);
+            }
+        }
+        for addr in 0..560u64 {
+            let expect = model.get(&addr).copied().unwrap_or(0);
+            prop_assert_eq!(img.read_u8(Addr(addr)), expect, "byte {}", addr);
+        }
+    }
+
+    #[test]
+    fn layout_fields_never_overlap(sizes in proptest::collection::vec(0usize..4, 1..12)) {
+        let mut layout = StructLayout::new("S");
+        for (i, &pick) in sizes.iter().enumerate() {
+            let name = format!("f{i}");
+            match pick {
+                0 => layout.field_u8(name),
+                1 => layout.field_u16(name),
+                2 => layout.field_u32(name),
+                _ => layout.field_u64(name),
+            };
+        }
+        let fields: Vec<_> = layout.iter().collect();
+        for (i, a) in fields.iter().enumerate() {
+            // Natural alignment.
+            prop_assert_eq!(a.offset() % a.size(), 0, "field {} misaligned", i);
+            for b in fields.iter().skip(i + 1) {
+                let disjoint = a.offset() + a.size() <= b.offset()
+                    || b.offset() + b.size() <= a.offset();
+                prop_assert!(disjoint, "fields overlap");
+            }
+        }
+        prop_assert_eq!(layout.size() % layout.align(), 0);
+    }
+}

@@ -1,0 +1,85 @@
+//! Language-level atomicity of memory accesses.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The language-level atomicity of a load or store.
+///
+/// Persistency races (Definition 5.1) hinge on this distinction: a compiler
+/// may implement a **non-atomic** ([`Atomicity::Plain`]) store with several
+/// store instructions (store tearing) or invent extra stores to its location,
+/// so reading a plain store post-crash without persist ordering is a race.
+/// Atomic stores may not be torn, and atomic *release* stores additionally
+/// participate in the coherence argument of §4.1: a post-crash read of a
+/// release store proves its cache line persisted after every store that
+/// happens-before it on the same line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Atomicity {
+    /// A non-atomic access: the compiler may tear or invent stores.
+    Plain,
+    /// An atomic access with relaxed ordering: untearable, but establishing
+    /// no synchronization. (Also used for C `volatile` accesses, as in
+    /// P-CLHT's critical stores, which compilers will not tear.)
+    Relaxed,
+    /// An atomic access with release (store) / acquire (load) ordering.
+    ReleaseAcquire,
+}
+
+impl Atomicity {
+    /// Whether the compiler may tear or invent stores for this access —
+    /// i.e. whether a store with this atomicity can be the racing store of a
+    /// persistency race.
+    pub fn is_tearable(self) -> bool {
+        matches!(self, Atomicity::Plain)
+    }
+
+    /// Whether a store with this atomicity is an atomic release store for
+    /// the purposes of condition (2) of Definition 5.1.
+    pub fn is_release(self) -> bool {
+        matches!(self, Atomicity::ReleaseAcquire)
+    }
+
+    /// Whether a load with this atomicity acquires (joins the store's clock
+    /// vector into the loading thread's clock).
+    pub fn is_acquire(self) -> bool {
+        matches!(self, Atomicity::ReleaseAcquire)
+    }
+}
+
+impl fmt::Display for Atomicity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Atomicity::Plain => "plain",
+            Atomicity::Relaxed => "relaxed",
+            Atomicity::ReleaseAcquire => "release/acquire",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_plain_is_tearable() {
+        assert!(Atomicity::Plain.is_tearable());
+        assert!(!Atomicity::Relaxed.is_tearable());
+        assert!(!Atomicity::ReleaseAcquire.is_tearable());
+    }
+
+    #[test]
+    fn only_release_acquire_synchronizes() {
+        assert!(Atomicity::ReleaseAcquire.is_release());
+        assert!(Atomicity::ReleaseAcquire.is_acquire());
+        assert!(!Atomicity::Relaxed.is_release());
+        assert!(!Atomicity::Plain.is_acquire());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Atomicity::Plain.to_string(), "plain");
+        assert_eq!(Atomicity::ReleaseAcquire.to_string(), "release/acquire");
+    }
+}

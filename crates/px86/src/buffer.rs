@@ -1,0 +1,455 @@
+//! Per-thread store buffers and flush buffers.
+
+use std::collections::VecDeque;
+
+use pmem::{Addr, CacheLineId};
+
+use crate::ordering::{ordering_constraint, InsnKind};
+
+/// A buffered store: the byte range it writes plus the engine's event id.
+///
+/// Values, clock vectors, atomicity, and source labels live in the engine's
+/// event table, keyed by `id`; the buffer only needs geometry to answer
+/// bypass queries and reordering legality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SbStore {
+    /// First byte written.
+    pub addr: Addr,
+    /// Number of bytes written.
+    pub len: u64,
+    /// Engine event id for this store.
+    pub id: u64,
+}
+
+/// An entry in a [`StoreBuffer`].
+///
+/// Per §2, stores, `clflush`, `clflushopt`/`clwb`, and `sfence` are all
+/// inserted into the store buffer; `mfence` and locked RMW instructions drain
+/// it instead of entering it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SbEntry {
+    /// A buffered store.
+    Store(SbStore),
+    /// A buffered `clflush` of the line containing `addr`.
+    Clflush {
+        /// Address whose cache line is flushed.
+        addr: Addr,
+        /// Engine event id.
+        id: u64,
+    },
+    /// A buffered `clflushopt` or `clwb` of the line containing `addr`.
+    ///
+    /// The two are semantically identical in Px86sim (§2), so the buffer does
+    /// not distinguish them.
+    Clwb {
+        /// Address whose cache line is written back.
+        addr: Addr,
+        /// Engine event id.
+        id: u64,
+    },
+    /// A buffered `sfence`.
+    Sfence {
+        /// Engine event id.
+        id: u64,
+    },
+}
+
+impl SbEntry {
+    /// The Table 1 instruction class of this entry.
+    pub fn kind(&self) -> InsnKind {
+        match self {
+            SbEntry::Store(_) => InsnKind::Write,
+            SbEntry::Clflush { .. } => InsnKind::Clflush,
+            SbEntry::Clwb { .. } => InsnKind::Clflushopt,
+            SbEntry::Sfence { .. } => InsnKind::Sfence,
+        }
+    }
+
+    /// The cache line this entry operates on, if any (`sfence` has none).
+    pub fn line(&self) -> Option<CacheLineId> {
+        match self {
+            SbEntry::Store(s) => Some(s.addr.cache_line()),
+            SbEntry::Clflush { addr, .. } | SbEntry::Clwb { addr, .. } => Some(addr.cache_line()),
+            SbEntry::Sfence { .. } => None,
+        }
+    }
+
+    /// The engine event id of this entry.
+    pub fn id(&self) -> u64 {
+        match self {
+            SbEntry::Store(s) => s.id,
+            SbEntry::Clflush { id, .. } | SbEntry::Clwb { id, .. } | SbEntry::Sfence { id } => *id,
+        }
+    }
+
+    /// Whether `self` (earlier in the buffer) and `later` may take effect out
+    /// of program order, per Table 1.
+    fn may_be_overtaken_by(&self, later: &SbEntry) -> bool {
+        let same_line = match (self.line(), later.line()) {
+            (Some(a), Some(b)) => a == b,
+            // An entry without a line (sfence) is conservatively treated as
+            // covering every line for CL cells; Table 1 has no CL cell
+            // involving sfence so the value is irrelevant.
+            _ => true,
+        };
+        ordering_constraint(self.kind(), later.kind()).allows_reorder(same_line)
+    }
+}
+
+/// A per-thread store buffer.
+///
+/// Entries join at the tail in program order. An entry may *exit* (take
+/// effect on the cache) when every entry still ahead of it permits being
+/// overtaken per Table 1; [`evictable_positions`] enumerates the legal
+/// choices and the execution engine (scheduler) picks among them, which is
+/// how the simulation explores `clflushopt`/`clwb` overtaking stores to other
+/// cache lines.
+///
+/// [`evictable_positions`]: StoreBuffer::evictable_positions
+///
+/// # Examples
+///
+/// ```
+/// use pmem::Addr;
+/// use px86::{SbEntry, SbStore, StoreBuffer};
+///
+/// let mut sb = StoreBuffer::new();
+/// sb.push(SbEntry::Store(SbStore { addr: Addr(0), len: 8, id: 1 }));
+/// sb.push(SbEntry::Clwb { addr: Addr(128), id: 2 }); // different line
+/// // Both the head store and the clwb (which may overtake a store to a
+/// // different line) are legal eviction choices.
+/// assert_eq!(sb.evictable_positions(), vec![0, 1]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct StoreBuffer {
+    entries: VecDeque<SbEntry>,
+}
+
+impl StoreBuffer {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        StoreBuffer::default()
+    }
+
+    /// Appends an entry at the program-order tail.
+    pub fn push(&mut self, entry: SbEntry) {
+        self.entries.push_back(entry);
+    }
+
+    /// Returns `true` if the buffer holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of buffered entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Positions of entries that may legally exit the buffer next.
+    ///
+    /// Position 0 (the head) is always legal; a later entry is legal iff it
+    /// may overtake *every* entry ahead of it.
+    pub fn evictable_positions(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        'candidates: for (i, cand) in self.entries.iter().enumerate() {
+            for earlier in self.entries.iter().take(i) {
+                if !earlier.may_be_overtaken_by(cand) {
+                    continue 'candidates;
+                }
+            }
+            out.push(i);
+        }
+        out
+    }
+
+    /// Removes and returns the entry at `position`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `position` is out of range. Callers should pass a position
+    /// from [`evictable_positions`](StoreBuffer::evictable_positions); the
+    /// buffer does not re-check legality.
+    pub fn evict(&mut self, position: usize) -> SbEntry {
+        self.entries
+            .remove(position)
+            .expect("eviction position out of range")
+    }
+
+    /// Removes and returns the head entry, or `None` if empty.
+    ///
+    /// Draining head-first is always a legal schedule; `mfence` and RMW use
+    /// this to empty the buffer in program order.
+    pub fn evict_head(&mut self) -> Option<SbEntry> {
+        self.entries.pop_front()
+    }
+
+    /// Iterates over buffered entries in program order.
+    pub fn iter(&self) -> impl Iterator<Item = &SbEntry> {
+        self.entries.iter()
+    }
+
+    /// Store-to-load bypassing: for each byte of `[addr, addr+len)`, the id
+    /// of the most recent buffered store covering that byte, if any.
+    ///
+    /// Per §2, a core's loads check its own store buffer first and return the
+    /// value written by the most recent matching store.
+    pub fn bypass_bytes(&self, addr: Addr, len: u64) -> Vec<Option<u64>> {
+        let mut out = vec![None; len as usize];
+        for entry in &self.entries {
+            if let SbEntry::Store(s) = entry {
+                for i in 0..len {
+                    let byte = addr + i;
+                    if byte >= s.addr && byte < s.addr + s.len {
+                        out[i as usize] = Some(s.id);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Discards all entries (crash: buffered entries never took effect).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+/// A pending `clwb` whose persist effect awaits a fence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FbEntry {
+    /// Address whose cache line is written back.
+    pub addr: Addr,
+    /// Engine event id of the originating `clwb`.
+    pub id: u64,
+}
+
+/// A per-thread flush buffer: the paper's `F_τ` set (§6).
+///
+/// When a `clwb` exits the store buffer it lands here; when the thread
+/// executes an instruction with fence semantics (`sfence` eviction, `mfence`,
+/// locked RMW), the engine takes all pending entries and records their
+/// persist effect (`Evict_FB` in Fig. 8). A crash discards the buffer.
+#[derive(Debug, Clone, Default)]
+pub struct FlushBuffer {
+    pending: Vec<FbEntry>,
+}
+
+impl FlushBuffer {
+    /// Creates an empty flush buffer.
+    pub fn new() -> Self {
+        FlushBuffer::default()
+    }
+
+    /// Adds a `clwb` that exited the store buffer.
+    pub fn push(&mut self, entry: FbEntry) {
+        self.pending.push(entry);
+    }
+
+    /// Takes every pending entry (fence executed).
+    pub fn take_all(&mut self) -> Vec<FbEntry> {
+        std::mem::take(&mut self.pending)
+    }
+
+    /// Returns `true` if no `clwb` is pending.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Number of pending entries.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Discards all entries (crash).
+    pub fn clear(&mut self) {
+        self.pending.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store(addr: u64, len: u64, id: u64) -> SbEntry {
+        SbEntry::Store(SbStore {
+            addr: Addr(addr),
+            len,
+            id,
+        })
+    }
+
+    #[test]
+    fn fifo_head_always_evictable() {
+        let mut sb = StoreBuffer::new();
+        sb.push(store(0, 8, 1));
+        sb.push(store(8, 8, 2));
+        assert_eq!(sb.evictable_positions(), vec![0]);
+        assert_eq!(sb.evict_head().unwrap().id(), 1);
+        assert_eq!(sb.evictable_positions(), vec![0]);
+    }
+
+    #[test]
+    fn clwb_overtakes_store_to_other_line_only() {
+        let mut sb = StoreBuffer::new();
+        sb.push(store(0, 8, 1));
+        sb.push(SbEntry::Clwb {
+            addr: Addr(128),
+            id: 2,
+        });
+        assert_eq!(sb.evictable_positions(), vec![0, 1]);
+
+        let mut sb = StoreBuffer::new();
+        sb.push(store(0, 8, 1));
+        sb.push(SbEntry::Clwb {
+            addr: Addr(8), // same line as the store
+            id: 2,
+        });
+        assert_eq!(sb.evictable_positions(), vec![0]);
+    }
+
+    #[test]
+    fn clflush_never_overtakes_stores() {
+        let mut sb = StoreBuffer::new();
+        sb.push(store(0, 8, 1));
+        sb.push(SbEntry::Clflush {
+            addr: Addr(512),
+            id: 2,
+        });
+        assert_eq!(sb.evictable_positions(), vec![0]);
+    }
+
+    #[test]
+    fn sfence_blocks_clwb() {
+        let mut sb = StoreBuffer::new();
+        sb.push(SbEntry::Sfence { id: 1 });
+        sb.push(SbEntry::Clwb {
+            addr: Addr(512),
+            id: 2,
+        });
+        // sfence → clfopt is preserved, so the clwb may not exit first.
+        assert_eq!(sb.evictable_positions(), vec![0]);
+    }
+
+    #[test]
+    fn clwb_does_not_overtake_sfence_ahead_but_stores_do_not_overtake_it() {
+        // Write after clflushopt: clfopt → Wr is reorderable, so the store
+        // may exit before the clwb.
+        let mut sb = StoreBuffer::new();
+        sb.push(SbEntry::Clwb {
+            addr: Addr(0),
+            id: 1,
+        });
+        sb.push(store(512, 8, 2));
+        assert_eq!(sb.evictable_positions(), vec![0, 1]);
+    }
+
+    #[test]
+    fn two_clwbs_may_reorder() {
+        let mut sb = StoreBuffer::new();
+        sb.push(SbEntry::Clwb {
+            addr: Addr(0),
+            id: 1,
+        });
+        sb.push(SbEntry::Clwb {
+            addr: Addr(512),
+            id: 2,
+        });
+        assert_eq!(sb.evictable_positions(), vec![0, 1]);
+    }
+
+    #[test]
+    fn clflush_and_clflushopt_same_line_ordered() {
+        let mut sb = StoreBuffer::new();
+        sb.push(SbEntry::Clflush {
+            addr: Addr(0),
+            id: 1,
+        });
+        sb.push(SbEntry::Clwb {
+            addr: Addr(8),
+            id: 2,
+        });
+        // clf → clfopt same line: preserved.
+        assert_eq!(sb.evictable_positions(), vec![0]);
+        let mut sb = StoreBuffer::new();
+        sb.push(SbEntry::Clflush {
+            addr: Addr(0),
+            id: 1,
+        });
+        sb.push(SbEntry::Clwb {
+            addr: Addr(512),
+            id: 2,
+        });
+        assert_eq!(sb.evictable_positions(), vec![0, 1]);
+    }
+
+    #[test]
+    fn bypass_finds_most_recent_covering_store() {
+        let mut sb = StoreBuffer::new();
+        sb.push(store(0, 8, 1));
+        sb.push(store(4, 4, 2));
+        let ids = sb.bypass_bytes(Addr(0), 8);
+        assert_eq!(
+            ids,
+            vec![
+                Some(1),
+                Some(1),
+                Some(1),
+                Some(1),
+                Some(2),
+                Some(2),
+                Some(2),
+                Some(2)
+            ]
+        );
+        let ids = sb.bypass_bytes(Addr(8), 4);
+        assert_eq!(ids, vec![None; 4]);
+    }
+
+    #[test]
+    fn clear_models_crash() {
+        let mut sb = StoreBuffer::new();
+        sb.push(store(0, 8, 1));
+        sb.clear();
+        assert!(sb.is_empty());
+        let mut fb = FlushBuffer::new();
+        fb.push(FbEntry {
+            addr: Addr(0),
+            id: 1,
+        });
+        assert_eq!(fb.len(), 1);
+        fb.clear();
+        assert!(fb.is_empty());
+    }
+
+    #[test]
+    fn flush_buffer_take_all_empties() {
+        let mut fb = FlushBuffer::new();
+        fb.push(FbEntry {
+            addr: Addr(0),
+            id: 1,
+        });
+        fb.push(FbEntry {
+            addr: Addr(64),
+            id: 2,
+        });
+        let taken = fb.take_all();
+        assert_eq!(taken.len(), 2);
+        assert!(fb.is_empty());
+        assert!(fb.take_all().is_empty());
+    }
+
+    #[test]
+    fn eviction_by_position_removes_correct_entry() {
+        let mut sb = StoreBuffer::new();
+        sb.push(store(0, 8, 1));
+        sb.push(SbEntry::Clwb {
+            addr: Addr(512),
+            id: 2,
+        });
+        let e = sb.evict(1);
+        assert_eq!(e.id(), 2);
+        assert_eq!(sb.len(), 1);
+        assert_eq!(sb.iter().next().unwrap().id(), 1);
+    }
+}

@@ -1,0 +1,44 @@
+//! Px86sim: a simulation of the Intel-x86 persistent storage system.
+//!
+//! This crate implements the storage-system model of §2 of the paper,
+//! following the formalized Px86sim semantics of Raad et al.:
+//!
+//! * each simulated core has a FIFO **store buffer** ([`StoreBuffer`]) that
+//!   buffers stores, `clflush`, `clflushopt`/`clwb`, and `sfence` entries on
+//!   their way to the cache, with bypassing for local loads;
+//! * each core has a **flush buffer** ([`FlushBuffer`]) holding `clwb`
+//!   operations that have been evicted from the store buffer but whose
+//!   persist effect is only guaranteed once the thread executes a fence;
+//! * the **reordering constraints** of Table 1 ([`ordering_constraint`])
+//!   govern which buffered entries may overtake one another.
+//!
+//! The crate is deliberately value-free: store buffer entries carry opaque
+//! event ids; the execution engine (the `jaaru` crate) owns the event table
+//! with values, clock vectors, and source labels, and applies cache effects
+//! when entries are evicted.
+//!
+//! # Examples
+//!
+//! ```
+//! use px86::{ordering_constraint, InsnKind, OrderConstraint};
+//!
+//! // A clflushopt may be reordered before an earlier store to a different
+//! // cache line (Table 1: Write → clfopt is "CL").
+//! assert_eq!(
+//!     ordering_constraint(InsnKind::Write, InsnKind::Clflushopt),
+//!     OrderConstraint::SameLine
+//! );
+//! // ... but a clflush may not (Write → clf is preserved).
+//! assert_eq!(
+//!     ordering_constraint(InsnKind::Write, InsnKind::Clflush),
+//!     OrderConstraint::Preserved
+//! );
+//! ```
+
+mod atomicity;
+mod buffer;
+mod ordering;
+
+pub use atomicity::Atomicity;
+pub use buffer::{FbEntry, FlushBuffer, SbEntry, SbStore, StoreBuffer};
+pub use ordering::{ordering_constraint, render_table1, InsnKind, OrderConstraint};

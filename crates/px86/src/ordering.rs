@@ -1,0 +1,259 @@
+//! Table 1 of the paper: reordering constraints in Px86sim.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The instruction classes of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InsnKind {
+    /// A load.
+    Read,
+    /// A store.
+    Write,
+    /// A locked read-modify-write (has `mfence`-like semantics).
+    Rmw,
+    /// The `mfence` instruction.
+    Mfence,
+    /// The `sfence` instruction.
+    Sfence,
+    /// The `clflushopt` instruction. `clwb` is semantically identical (§2)
+    /// and is classified here as well.
+    Clflushopt,
+    /// The `clflush` instruction.
+    Clflush,
+}
+
+impl InsnKind {
+    /// All kinds, in the row/column order of Table 1.
+    pub const ALL: [InsnKind; 7] = [
+        InsnKind::Read,
+        InsnKind::Write,
+        InsnKind::Rmw,
+        InsnKind::Mfence,
+        InsnKind::Sfence,
+        InsnKind::Clflushopt,
+        InsnKind::Clflush,
+    ];
+
+    /// The abbreviated name used in the paper's table.
+    pub fn short_name(self) -> &'static str {
+        match self {
+            InsnKind::Read => "Re",
+            InsnKind::Write => "Wr",
+            InsnKind::Rmw => "RMW",
+            InsnKind::Mfence => "mf",
+            InsnKind::Sfence => "sf",
+            InsnKind::Clflushopt => "clfopt",
+            InsnKind::Clflush => "clf",
+        }
+    }
+}
+
+impl fmt::Display for InsnKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+/// One cell of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OrderConstraint {
+    /// `✓` — program order between the two instructions is preserved.
+    Preserved,
+    /// `✗` — the two instructions can be reordered.
+    Reorderable,
+    /// `CL` — order is preserved only if both operate on the same cache line.
+    SameLine,
+}
+
+impl OrderConstraint {
+    /// The symbol the paper uses for this cell.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            OrderConstraint::Preserved => "✓",
+            OrderConstraint::Reorderable => "✗",
+            OrderConstraint::SameLine => "CL",
+        }
+    }
+
+    /// Whether two instructions with this constraint, operating on lines
+    /// `same_line` apart, may be reordered.
+    pub fn allows_reorder(self, same_line: bool) -> bool {
+        match self {
+            OrderConstraint::Preserved => false,
+            OrderConstraint::Reorderable => true,
+            OrderConstraint::SameLine => !same_line,
+        }
+    }
+}
+
+impl fmt::Display for OrderConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// Returns the Table 1 cell for `earlier` (in program order) vs `later`.
+///
+/// A [`OrderConstraint::Preserved`] result means the pair always takes effect
+/// in program order; [`OrderConstraint::Reorderable`] means the later
+/// instruction may overtake the earlier one; [`OrderConstraint::SameLine`]
+/// means order is preserved only when both operate on the same cache line.
+///
+/// # Examples
+///
+/// ```
+/// use px86::{ordering_constraint, InsnKind, OrderConstraint};
+/// // sfence orders clflushopt relative to later stores and flushes ...
+/// assert_eq!(
+///     ordering_constraint(InsnKind::Sfence, InsnKind::Clflushopt),
+///     OrderConstraint::Preserved
+/// );
+/// // ... but later reads may overtake an sfence.
+/// assert_eq!(
+///     ordering_constraint(InsnKind::Sfence, InsnKind::Read),
+///     OrderConstraint::Reorderable
+/// );
+/// ```
+pub fn ordering_constraint(earlier: InsnKind, later: InsnKind) -> OrderConstraint {
+    use InsnKind::*;
+    use OrderConstraint::*;
+    match (earlier, later) {
+        // Row: Read — preserved against everything.
+        (Read, _) => Preserved,
+        // Row: Write.
+        (Write, Read) => Reorderable,
+        (Write, Clflushopt) => SameLine,
+        (Write, _) => Preserved,
+        // Rows: RMW and mfence — preserved against everything.
+        (Rmw, _) | (Mfence, _) => Preserved,
+        // Row: sfence.
+        (Sfence, Read) => Reorderable,
+        (Sfence, _) => Preserved,
+        // Row: clflushopt.
+        (Clflushopt, Read) | (Clflushopt, Write) | (Clflushopt, Clflushopt) => Reorderable,
+        (Clflushopt, Clflush) => SameLine,
+        (Clflushopt, _) => Preserved,
+        // Row: clflush.
+        (Clflush, Read) => Reorderable,
+        (Clflush, Clflushopt) => SameLine,
+        (Clflush, _) => Preserved,
+    }
+}
+
+/// Renders Table 1 as the paper prints it (rows = earlier, columns = later).
+///
+/// Used by the `table1` benchmark binary to regenerate the table.
+pub fn render_table1() -> String {
+    let mut out = String::new();
+    out.push_str("earlier\\later");
+    for later in InsnKind::ALL {
+        out.push_str(&format!("\t{}", later.short_name()));
+    }
+    out.push('\n');
+    for earlier in InsnKind::ALL {
+        out.push_str(earlier.short_name());
+        for later in InsnKind::ALL {
+            out.push_str(&format!(
+                "\t{}",
+                ordering_constraint(earlier, later).symbol()
+            ));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use InsnKind::*;
+    use OrderConstraint::*;
+
+    /// The full 7x7 matrix from Table 1 of the paper, row by row.
+    const TABLE1: [[OrderConstraint; 7]; 7] = [
+        // later:      Re          Wr          RMW        mf         sf         clfopt       clf
+        /* Read   */
+        [Preserved, Preserved, Preserved, Preserved, Preserved, Preserved, Preserved],
+        /* Write  */
+        [Reorderable, Preserved, Preserved, Preserved, Preserved, SameLine, Preserved],
+        /* RMW    */
+        [Preserved, Preserved, Preserved, Preserved, Preserved, Preserved, Preserved],
+        /* mfence */
+        [Preserved, Preserved, Preserved, Preserved, Preserved, Preserved, Preserved],
+        /* sfence */
+        [Reorderable, Preserved, Preserved, Preserved, Preserved, Preserved, Preserved],
+        /* clfopt */
+        [Reorderable, Reorderable, Preserved, Preserved, Preserved, Reorderable, SameLine],
+        /* clflush*/
+        [Reorderable, Preserved, Preserved, Preserved, Preserved, SameLine, Preserved],
+    ];
+
+    #[test]
+    fn matches_paper_table1_exactly() {
+        for (i, earlier) in InsnKind::ALL.iter().enumerate() {
+            for (j, later) in InsnKind::ALL.iter().enumerate() {
+                assert_eq!(
+                    ordering_constraint(*earlier, *later),
+                    TABLE1[i][j],
+                    "cell ({earlier}, {later}) disagrees with Table 1"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mfence_and_rmw_are_full_barriers() {
+        for k in InsnKind::ALL {
+            assert_eq!(ordering_constraint(Mfence, k), Preserved);
+            assert_eq!(ordering_constraint(Rmw, k), Preserved);
+            assert_eq!(ordering_constraint(k, Mfence), Preserved);
+            assert_eq!(ordering_constraint(k, Rmw), Preserved);
+        }
+    }
+
+    #[test]
+    fn clflushopt_weaker_than_clflush() {
+        // clflushopt may overtake stores to other lines; clflush may not.
+        assert!(ordering_constraint(Write, Clflushopt).allows_reorder(false));
+        assert!(!ordering_constraint(Write, Clflushopt).allows_reorder(true));
+        assert!(!ordering_constraint(Write, Clflush).allows_reorder(false));
+    }
+
+    #[test]
+    fn sfence_orders_flushes_but_not_reads() {
+        assert_eq!(ordering_constraint(Clflushopt, Sfence), Preserved);
+        assert_eq!(ordering_constraint(Sfence, Clflushopt), Preserved);
+        assert_eq!(ordering_constraint(Sfence, Write), Preserved);
+        assert_eq!(ordering_constraint(Sfence, Read), Reorderable);
+    }
+
+    #[test]
+    fn tso_store_load_reordering() {
+        // The signature TSO relaxation: a later read may overtake a write.
+        assert_eq!(ordering_constraint(Write, Read), Reorderable);
+        // Loads are never reordered with later operations.
+        assert_eq!(ordering_constraint(Read, Write), Preserved);
+    }
+
+    #[test]
+    fn render_has_all_rows_and_symbols() {
+        let t = render_table1();
+        assert_eq!(t.lines().count(), 8);
+        assert!(t.contains("clfopt"));
+        assert!(t.contains("CL"));
+        assert!(t.contains('✓'));
+        assert!(t.contains('✗'));
+    }
+
+    #[test]
+    fn allows_reorder_semantics() {
+        assert!(!Preserved.allows_reorder(true));
+        assert!(!Preserved.allows_reorder(false));
+        assert!(Reorderable.allows_reorder(true));
+        assert!(Reorderable.allows_reorder(false));
+        assert!(SameLine.allows_reorder(false));
+        assert!(!SameLine.allows_reorder(true));
+    }
+}

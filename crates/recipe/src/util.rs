@@ -1,0 +1,55 @@
+//! Shared helpers for benchmark ports.
+
+use jaaru::Ctx;
+use pmem::Addr;
+
+/// Root slot holding the pool-valid flag.
+///
+/// Every benchmark seals its initialization with an atomic release store to
+/// this flag (flushed and fenced), and recovery code opens the pool by
+/// acquire-loading it first. This mirrors real PM pools, whose open path
+/// validates a header before touching data — and it anchors the detector's
+/// consistent prefix at "initialization completed", so properly flushed
+/// initialization stores are not reported as races.
+pub(crate) const POOL_FLAG_SLOT: u64 = 63;
+
+/// Magic value marking a sealed pool.
+pub(crate) const POOL_MAGIC: u64 = 0x504d_504f_4f4c_0001; // "PMPOOL"
+
+/// Seals initialization: release-store + flush + fence of the pool flag.
+pub(crate) fn seal_pool(ctx: &mut Ctx) {
+    let flag = ctx.root_slot(POOL_FLAG_SLOT);
+    ctx.store_release_u64(flag, POOL_MAGIC, "pool.valid_flag");
+    ctx.clflush(flag);
+    ctx.sfence();
+}
+
+/// Opens the pool post-crash; returns `false` if initialization never
+/// completed (the crash predated the seal).
+pub(crate) fn open_pool(ctx: &mut Ctx) -> bool {
+    let flag = ctx.root_slot(POOL_FLAG_SLOT);
+    ctx.load_acquire_u64(flag) == POOL_MAGIC
+}
+
+/// Interprets a stored u64 as a pointer, returning `None` for null or for
+/// values outside the simulated arena (a torn pointer read post-crash).
+pub(crate) fn as_ptr(raw: u64) -> Option<Addr> {
+    let addr = Addr(raw);
+    if addr.is_null() || raw < Addr::BASE.raw() || raw > Addr::BASE.raw() + (1 << 30) {
+        None
+    } else {
+        Some(addr)
+    }
+}
+
+/// Flushes every cache line of `[addr, addr+len)` with `clflush`.
+pub(crate) fn flush_range(ctx: &mut Ctx, addr: Addr, len: u64) {
+    for line in addr.lines_in_range(len) {
+        ctx.clflush(line.base());
+    }
+}
+
+/// Multiplicative hash used by the hash-table ports.
+pub(crate) fn hash64(key: u64) -> u64 {
+    key.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}

@@ -1,0 +1,145 @@
+//! Scalar clock types: thread identifiers, per-thread clocks, and the global
+//! cache-commit sequence counter.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+/// A dense identifier for a simulated thread.
+///
+/// Thread ids are assigned by the execution engine starting from zero for the
+/// main thread. They index the components of a [`VectorClock`].
+///
+/// [`VectorClock`]: crate::VectorClock
+///
+/// # Examples
+///
+/// ```
+/// use vclock::ThreadId;
+/// let main = ThreadId::MAIN;
+/// assert_eq!(main.index(), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ThreadId(u32);
+
+impl ThreadId {
+    /// The main thread of an execution.
+    pub const MAIN: ThreadId = ThreadId(0);
+
+    /// Creates a thread id from a dense index.
+    pub const fn new(index: u32) -> Self {
+        ThreadId(index)
+    }
+
+    /// Returns the dense index of this thread.
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the index as a `usize`, convenient for vector indexing.
+    pub const fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl From<u32> for ThreadId {
+    fn from(index: u32) -> Self {
+        ThreadId(index)
+    }
+}
+
+/// A per-thread logical clock value.
+///
+/// Each event a thread performs increments its clock; clock `0` means "no
+/// event observed". These are the per-component values of a
+/// [`VectorClock`](crate::VectorClock).
+pub type Clock = u64;
+
+/// A global sequence number.
+///
+/// Sequence numbers record the total order in which stores, `clflush`, and
+/// `sfence` instructions take effect on the (simulated) cache. This is the
+/// paper's `σ_curr` counter (§6): "a global sequence number counter is used
+/// to assign increasing sequence numbers to stores, clflush, and sfence
+/// instructions".
+pub type Seq = u64;
+
+/// A monotonically increasing allocator for [`Seq`] numbers.
+///
+/// The counter starts at 1 so that `0` can serve as "before everything".
+///
+/// # Examples
+///
+/// ```
+/// use vclock::SeqCounter;
+/// let ctr = SeqCounter::new();
+/// let a = ctr.next();
+/// let b = ctr.next();
+/// assert!(b > a);
+/// ```
+#[derive(Debug)]
+pub struct SeqCounter {
+    next: AtomicU64,
+}
+
+impl SeqCounter {
+    /// Creates a counter whose first issued sequence number is 1.
+    pub fn new() -> Self {
+        SeqCounter {
+            next: AtomicU64::new(1),
+        }
+    }
+
+    /// Issues the next sequence number.
+    pub fn next(&self) -> Seq {
+        self.next.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Returns the most recently issued sequence number (0 if none).
+    pub fn current(&self) -> Seq {
+        self.next.load(Ordering::Relaxed) - 1
+    }
+
+    /// Resets the counter so the next issued number is 1.
+    pub fn reset(&self) {
+        self.next.store(1, Ordering::Relaxed);
+    }
+}
+
+impl Default for SeqCounter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seq_counter_monotone() {
+        let c = SeqCounter::new();
+        assert_eq!(c.current(), 0);
+        let a = c.next();
+        assert_eq!(a, 1);
+        assert_eq!(c.current(), 1);
+        let b = c.next();
+        assert_eq!(b, 2);
+        c.reset();
+        assert_eq!(c.next(), 1);
+    }
+
+    #[test]
+    fn thread_id_from_u32() {
+        let t: ThreadId = 3u32.into();
+        assert_eq!(t, ThreadId::new(3));
+        assert!(ThreadId::new(1) < ThreadId::new(2));
+    }
+}

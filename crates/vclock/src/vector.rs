@@ -1,0 +1,255 @@
+//! Vector clocks over dense thread ids.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::clock::{Clock, ThreadId};
+
+/// A vector clock: one [`Clock`] component per thread.
+///
+/// Vector clocks are the workhorse of the detector. They implement:
+///
+/// * the happens-before relation between events ([`happens_before`]),
+/// * the consistent-prefix clock vector `CVpre` (§5.1), built as the join of
+///   the clock vectors of every pre-crash store the post-crash execution has
+///   read from ([`join`]),
+/// * the `lastflush` lower bounds on cache-line write-back (§4.1).
+///
+/// Components default to 0 ("nothing observed from that thread"). The vector
+/// grows on demand, so clocks for programs with few threads stay tiny.
+///
+/// [`happens_before`]: VectorClock::happens_before
+/// [`join`]: VectorClock::join
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct VectorClock {
+    components: Vec<Clock>,
+}
+
+impl VectorClock {
+    /// Creates an empty clock (all components 0).
+    pub fn new() -> Self {
+        VectorClock::default()
+    }
+
+    /// Creates a clock with a single nonzero component.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use vclock::{ThreadId, VectorClock};
+    /// let cv = VectorClock::singleton(ThreadId::new(2), 5);
+    /// assert_eq!(cv.get(ThreadId::new(2)), 5);
+    /// assert_eq!(cv.get(ThreadId::new(0)), 0);
+    /// ```
+    pub fn singleton(thread: ThreadId, clock: Clock) -> Self {
+        let mut cv = VectorClock::new();
+        cv.set(thread, clock);
+        cv
+    }
+
+    /// Returns the clock component for `thread` (0 if never set).
+    pub fn get(&self, thread: ThreadId) -> Clock {
+        self.components.get(thread.as_usize()).copied().unwrap_or(0)
+    }
+
+    /// Sets the clock component for `thread`.
+    pub fn set(&mut self, thread: ThreadId, clock: Clock) {
+        let idx = thread.as_usize();
+        if idx >= self.components.len() {
+            self.components.resize(idx + 1, 0);
+        }
+        self.components[idx] = clock;
+    }
+
+    /// Increments `thread`'s component and returns the new value.
+    ///
+    /// This is how a thread stamps a new event: its own component advances.
+    pub fn tick(&mut self, thread: ThreadId) -> Clock {
+        let next = self.get(thread) + 1;
+        self.set(thread, next);
+        next
+    }
+
+    /// Joins `other` into `self` (component-wise maximum).
+    ///
+    /// Used for acquire synchronization and for accumulating `CVpre`.
+    pub fn join(&mut self, other: &VectorClock) {
+        if other.components.len() > self.components.len() {
+            self.components.resize(other.components.len(), 0);
+        }
+        for (mine, theirs) in self.components.iter_mut().zip(other.components.iter()) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+
+    /// Returns the component-wise maximum of two clocks.
+    pub fn joined(&self, other: &VectorClock) -> VectorClock {
+        let mut out = self.clone();
+        out.join(other);
+        out
+    }
+
+    /// Returns `true` if every component of `self` is `<=` the corresponding
+    /// component of `other`.
+    ///
+    /// For event clock vectors this is the happens-before-or-equal test: the
+    /// event stamped `self` happens before (or is) every event whose clock
+    /// vector dominates it.
+    pub fn leq(&self, other: &VectorClock) -> bool {
+        self.components
+            .iter()
+            .enumerate()
+            .all(|(i, &c)| c <= other.get(ThreadId::new(i as u32)))
+    }
+
+    /// Strict happens-before: `self <= other` and `self != other`.
+    pub fn happens_before(&self, other: &VectorClock) -> bool {
+        self.leq(other) && !other.leq(self)
+    }
+
+    /// Returns `true` if neither clock happens before the other.
+    pub fn concurrent_with(&self, other: &VectorClock) -> bool {
+        !self.leq(other) && !other.leq(self)
+    }
+
+    /// Tests whether the single event `(thread, clock)` is contained in the
+    /// prefix described by this clock vector.
+    ///
+    /// This is the test Yashme uses to decide whether a flush (labelled by
+    /// the flushing thread and its clock) lies inside the consistent prefix
+    /// `CVpre`: the flush is included iff `clock <= CVpre[thread]`.
+    pub fn contains(&self, thread: ThreadId, clock: Clock) -> bool {
+        clock <= self.get(thread)
+    }
+
+    /// Returns `true` if all components are zero.
+    pub fn is_empty(&self) -> bool {
+        self.components.iter().all(|&c| c == 0)
+    }
+
+    /// Number of allocated components (threads seen so far).
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Iterates over `(thread, clock)` pairs with nonzero clocks.
+    pub fn iter(&self) -> impl Iterator<Item = (ThreadId, Clock)> + '_ {
+        self.components
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c != 0)
+            .map(|(i, &c)| (ThreadId::new(i as u32), c))
+    }
+
+    /// Resets every component to zero, retaining allocation.
+    pub fn clear(&mut self) {
+        self.components.clear();
+    }
+}
+
+impl fmt::Display for VectorClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        let mut first = true;
+        for (t, c) in self.iter() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(f, "{t}:{c}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl FromIterator<(ThreadId, Clock)> for VectorClock {
+    fn from_iter<I: IntoIterator<Item = (ThreadId, Clock)>>(iter: I) -> Self {
+        let mut cv = VectorClock::new();
+        for (t, c) in iter {
+            cv.set(t, c);
+        }
+        cv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> ThreadId {
+        ThreadId::new(i)
+    }
+
+    #[test]
+    fn empty_clock_is_leq_everything() {
+        let a = VectorClock::new();
+        let b = VectorClock::singleton(t(0), 3);
+        assert!(a.leq(&b));
+        assert!(a.leq(&a));
+        assert!(a.is_empty());
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn tick_advances_own_component() {
+        let mut cv = VectorClock::new();
+        assert_eq!(cv.tick(t(1)), 1);
+        assert_eq!(cv.tick(t(1)), 2);
+        assert_eq!(cv.get(t(1)), 2);
+        assert_eq!(cv.get(t(0)), 0);
+    }
+
+    #[test]
+    fn join_is_componentwise_max() {
+        let a = VectorClock::from_iter([(t(0), 5), (t(1), 1)]);
+        let b = VectorClock::from_iter([(t(0), 2), (t(2), 7)]);
+        let j = a.joined(&b);
+        assert_eq!(j.get(t(0)), 5);
+        assert_eq!(j.get(t(1)), 1);
+        assert_eq!(j.get(t(2)), 7);
+    }
+
+    #[test]
+    fn happens_before_is_strict() {
+        let a = VectorClock::singleton(t(0), 1);
+        let mut b = a.clone();
+        b.tick(t(1));
+        assert!(a.happens_before(&b));
+        assert!(!b.happens_before(&a));
+        assert!(!a.happens_before(&a));
+    }
+
+    #[test]
+    fn concurrent_clocks() {
+        let a = VectorClock::singleton(t(0), 1);
+        let b = VectorClock::singleton(t(1), 1);
+        assert!(a.concurrent_with(&b));
+        assert!(b.concurrent_with(&a));
+        assert!(!a.concurrent_with(&a));
+    }
+
+    #[test]
+    fn contains_tests_prefix_membership() {
+        let cv = VectorClock::from_iter([(t(0), 4), (t(1), 2)]);
+        assert!(cv.contains(t(0), 4));
+        assert!(cv.contains(t(0), 1));
+        assert!(!cv.contains(t(0), 5));
+        assert!(!cv.contains(t(2), 1));
+    }
+
+    #[test]
+    fn display_formats_nonzero_components() {
+        let cv = VectorClock::from_iter([(t(0), 1), (t(2), 3)]);
+        assert_eq!(format!("{cv}"), "[T0:1, T2:3]");
+    }
+
+    #[test]
+    fn ragged_lengths_compare_correctly() {
+        // A longer vector with a nonzero tail must not be leq a shorter one.
+        let long = VectorClock::from_iter([(t(3), 1)]);
+        let short = VectorClock::singleton(t(0), 9);
+        assert!(!long.leq(&short));
+        assert!(!short.leq(&long));
+    }
+}

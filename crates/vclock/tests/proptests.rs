@@ -1,0 +1,73 @@
+//! Property-based tests for vector-clock laws.
+
+use proptest::prelude::*;
+use vclock::{ThreadId, VectorClock};
+
+fn arb_clock() -> impl Strategy<Value = VectorClock> {
+    proptest::collection::vec(0u64..20, 0..6).prop_map(|components| {
+        components
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| (ThreadId::new(i as u32), c))
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn join_commutative(a in arb_clock(), b in arb_clock()) {
+        prop_assert_eq!(a.joined(&b), b.joined(&a));
+    }
+
+    #[test]
+    fn join_associative(a in arb_clock(), b in arb_clock(), c in arb_clock()) {
+        prop_assert_eq!(a.joined(&b).joined(&c), a.joined(&b.joined(&c)));
+    }
+
+    #[test]
+    fn join_idempotent(a in arb_clock()) {
+        prop_assert_eq!(a.joined(&a), a);
+    }
+
+    #[test]
+    fn join_is_upper_bound(a in arb_clock(), b in arb_clock()) {
+        let j = a.joined(&b);
+        prop_assert!(a.leq(&j));
+        prop_assert!(b.leq(&j));
+    }
+
+    #[test]
+    fn leq_is_partial_order(a in arb_clock(), b in arb_clock(), c in arb_clock()) {
+        // Reflexive.
+        prop_assert!(a.leq(&a));
+        // Transitive.
+        if a.leq(&b) && b.leq(&c) {
+            prop_assert!(a.leq(&c));
+        }
+        // Antisymmetric up to equality of nonzero components.
+        if a.leq(&b) && b.leq(&a) {
+            for i in 0..8u32 {
+                prop_assert_eq!(a.get(ThreadId::new(i)), b.get(ThreadId::new(i)));
+            }
+        }
+    }
+
+    #[test]
+    fn happens_before_never_symmetric(a in arb_clock(), b in arb_clock()) {
+        prop_assert!(!(a.happens_before(&b) && b.happens_before(&a)));
+    }
+
+    #[test]
+    fn tick_strictly_advances(a in arb_clock(), t in 0u32..6) {
+        let mut b = a.clone();
+        b.tick(ThreadId::new(t));
+        prop_assert!(a.leq(&b));
+        prop_assert!(!b.leq(&a));
+    }
+
+    #[test]
+    fn contains_consistent_with_get(a in arb_clock(), t in 0u32..6, c in 0u64..25) {
+        let tid = ThreadId::new(t);
+        prop_assert_eq!(a.contains(tid, c), c <= a.get(tid));
+    }
+}

@@ -1,0 +1,448 @@
+//! The persistency-race detection algorithm (§6, Figures 8 and 9).
+
+use std::collections::HashMap;
+
+use jaaru::{
+    EventId, EventSink, ExecId, FlushEvent, LoadInfo, RaceReport, ReportKind, StoreEvent,
+};
+use pmem::CacheLineId;
+use vclock::{Clock, ThreadId, VectorClock};
+
+use crate::config::YashmeConfig;
+
+/// One entry of `flushmap`: a flush (or clwb-completing fence) that
+/// happens-after a store, identified by the flushing thread and that
+/// thread's clock at the flush — the `⟨τ, σ⟩` pairs of §6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct FlushRecord {
+    thread: ThreadId,
+    clock: Clock,
+}
+
+/// Per-execution detector state: the maps of §6.
+#[derive(Debug, Default)]
+struct ExecDetState {
+    /// `flushmap`: store → flushes that happen-after it. A store with an
+    /// *effective* record is persisted; effectiveness depends on the mode
+    /// (prefix: the record must lie inside `CVpre`; baseline: any record).
+    flushmap: HashMap<EventId, Vec<FlushRecord>>,
+    /// `lastflush`: cache line → clock-vector lower bound for when the line
+    /// was written back, raised by post-crash reads of atomic stores.
+    lastflush: HashMap<CacheLineId, VectorClock>,
+    /// `CVpre`: how much of this execution later executions have observed —
+    /// the consistent-prefix clock vector (§5.1).
+    cv_pre: VectorClock,
+}
+
+/// The Yashme persistency-race detector.
+///
+/// Plugs into the execution engine as a [`jaaru::EventSink`] and implements
+/// the algorithms of Fig. 8 (populating `flushmap` at `clflush` commit and
+/// `clwb`+fence) and Fig. 9 (race-checking loads that read pre-crash
+/// stores). See the crate docs for usage; most callers go through
+/// [`crate::model_check`] / [`crate::random_check`].
+#[derive(Debug)]
+pub struct YashmeDetector {
+    config: YashmeConfig,
+    states: HashMap<ExecId, ExecDetState>,
+    reports: Vec<RaceReport>,
+    /// Labels already reported, to bound report volume per run.
+    reported: Vec<(ReportKind, &'static str)>,
+}
+
+impl YashmeDetector {
+    /// Creates a detector with the given configuration.
+    pub fn new(config: YashmeConfig) -> Self {
+        YashmeDetector {
+            config,
+            states: HashMap::new(),
+            reports: Vec::new(),
+            reported: Vec::new(),
+        }
+    }
+
+    /// Creates a detector with the paper's default configuration.
+    pub fn with_defaults() -> Self {
+        YashmeDetector::new(YashmeConfig::default())
+    }
+
+    /// The detector's configuration.
+    pub fn config(&self) -> YashmeConfig {
+        self.config
+    }
+
+    fn state(&mut self, exec: ExecId) -> &mut ExecDetState {
+        self.states.entry(exec).or_default()
+    }
+
+    /// `Evict_SB(clflush)` / `Evict_FB` common path: record `flush_record`
+    /// for every line store that happens-before `hb_cv`, unless an existing
+    /// record already happens-before `effective_cv`.
+    fn record_flush(
+        &mut self,
+        exec: ExecId,
+        line_stores: &[&StoreEvent],
+        hb_cv: &VectorClock,
+        effective_cv: &VectorClock,
+        flush_record: FlushRecord,
+    ) {
+        let state = self.state(exec);
+        for store in line_stores {
+            // Condition (1): the store happens before the flush.
+            if store.clock > hb_cv.get(store.thread) {
+                continue;
+            }
+            let records = state.flushmap.entry(store.id).or_default();
+            // Condition (2): no recorded flush already happens before the
+            // point that makes this one effective.
+            let already = records
+                .iter()
+                .any(|r| r.clock <= effective_cv.get(r.thread));
+            if !already {
+                records.push(flush_record);
+            }
+        }
+    }
+
+    /// The race check of Fig. 9 (`Load_NonAtomic`) applied to one candidate
+    /// store.
+    fn check_candidate(&mut self, load: &LoadInfo, store: &StoreEvent) {
+        if !store.atomicity.is_tearable() {
+            return; // condition (1) of Definition 5.1: store must be plain
+        }
+        if store.exec >= load.exec {
+            return; // only pre-crash stores race with post-crash loads
+        }
+        if self.config.suppressed_labels.contains(&store.label) {
+            return; // developer annotation (§7.5 future work)
+        }
+        let prefix = self.config.prefix_expansion;
+        let eadr = self.config.eadr;
+        let state = self.state(store.exec);
+        let line = store.line();
+        // Condition (2): the line is known (via a later atomic store the
+        // post-crash execution read) to have been written back after this
+        // store completed.
+        if let Some(lf) = state.lastflush.get(&line) {
+            if store.clock <= lf.get(store.thread) {
+                return;
+            }
+        }
+        // eADR (§7.5): a store that left the store buffer is persistent.
+        // If any consistent prefix event of the storing thread postdates
+        // the store, TSO's FIFO buffer drained it before that event became
+        // observable, so the store fully persisted.
+        if eadr && state.cv_pre.get(store.thread) > store.clock {
+            return;
+        }
+        // Conditions (3)/(4): an effective flush happens-after the store.
+        if let Some(records) = state.flushmap.get(&store.id) {
+            let flushed = if prefix {
+                records
+                    .iter()
+                    .any(|r| r.clock <= state.cv_pre.get(r.thread))
+            } else {
+                !records.is_empty()
+            };
+            if flushed {
+                return;
+            }
+        }
+        // Persistency race.
+        let kind = if load.validated && self.config.report_benign {
+            ReportKind::BenignChecksum
+        } else {
+            ReportKind::PersistencyRace
+        };
+        if self.reported.contains(&(kind, store.label)) {
+            return;
+        }
+        self.reported.push((kind, store.label));
+        let detail = format!(
+            "non-atomic {}-byte store could be torn or invented by the compiler; \
+             no consistent prefix of execution {} flushes it before the \
+             post-crash load at {} (execution {})",
+            store.len(),
+            store.exec,
+            load.addr,
+            load.exec,
+        );
+        self.reports.push(RaceReport::new(
+            kind,
+            store.label,
+            store.addr,
+            store.exec,
+            load.exec,
+            store.thread,
+            detail,
+        ));
+    }
+}
+
+impl EventSink for YashmeDetector {
+    fn on_execution_start(&mut self, exec: ExecId) {
+        self.states.entry(exec).or_default();
+    }
+
+    fn on_clflush_committed(&mut self, flush: &FlushEvent, line_stores: &[&StoreEvent]) {
+        // A committed clflush persists the line contents unconditionally;
+        // the flush is effective at its own commit (hb and effectiveness are
+        // both the flush's clock vector).
+        let record = FlushRecord {
+            thread: flush.thread,
+            clock: flush.clock,
+        };
+        self.record_flush(flush.exec, line_stores, &flush.cv.clone(), &flush.cv.clone(), record);
+    }
+
+    fn on_clwb_fenced(
+        &mut self,
+        clwb: &FlushEvent,
+        fence_cv: &VectorClock,
+        line_stores: &[&StoreEvent],
+    ) {
+        // The store must happen-before the *clwb*; the persist effect takes
+        // hold at the *fence* (conditions (1) and (2) of §4.1's clwb rule).
+        let record = FlushRecord {
+            thread: clwb.thread,
+            clock: fence_cv.get(clwb.thread),
+        };
+        self.record_flush(clwb.exec, line_stores, &clwb.cv.clone(), &fence_cv.clone(), record);
+    }
+
+    fn on_pre_exec_read(
+        &mut self,
+        load: &LoadInfo,
+        chosen: &[&StoreEvent],
+        candidates: &[&StoreEvent],
+    ) {
+        // Race-check every candidate store the load could have read (§6
+        // "Implementation": Yashme checks all candidate stores).
+        for store in candidates {
+            self.check_candidate(load, store);
+        }
+        // Then update per-execution prefix state from the stores actually
+        // read (Fig. 9's trailing CVpre/lastflush updates).
+        for store in chosen {
+            let is_atomic_read = load.atomicity.is_acquire() && store.atomicity.is_release();
+            let cv = store.cv.clone();
+            let line = store.line();
+            let state = self.state(store.exec);
+            if is_atomic_read {
+                state
+                    .lastflush
+                    .entry(line)
+                    .or_default()
+                    .join(&cv);
+            }
+            state.cv_pre.join(&cv);
+        }
+    }
+
+    fn drain_reports(&mut self) -> Vec<RaceReport> {
+        std::mem::take(&mut self.reports)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jaaru::Atomicity;
+    use pmem::Addr;
+
+    fn store_event(
+        id: EventId,
+        exec: ExecId,
+        addr: u64,
+        atomicity: Atomicity,
+        clock: Clock,
+        label: &'static str,
+    ) -> StoreEvent {
+        let thread = ThreadId::MAIN;
+        StoreEvent {
+            id,
+            exec,
+            thread,
+            cv: VectorClock::singleton(thread, clock),
+            clock,
+            atomicity,
+            addr: Addr(addr),
+            bytes: vec![0; 8],
+            invented: false,
+            label,
+            seq: Some(id),
+        }
+    }
+
+    fn flush_event(id: EventId, exec: ExecId, addr: u64, clock: Clock) -> FlushEvent {
+        let thread = ThreadId::MAIN;
+        FlushEvent {
+            id,
+            exec,
+            thread,
+            cv: VectorClock::singleton(thread, clock),
+            clock,
+            kind: jaaru::FlushKind::Clflush,
+            addr: Addr(addr),
+            seq: Some(id),
+        }
+    }
+
+    fn load_info(exec: ExecId, addr: u64) -> LoadInfo {
+        LoadInfo {
+            exec,
+            thread: ThreadId::MAIN,
+            addr: Addr(addr),
+            len: 8,
+            atomicity: Atomicity::Plain,
+            label: "",
+            validated: false,
+        }
+    }
+
+    #[test]
+    fn unflushed_plain_store_races() {
+        let mut d = YashmeDetector::with_defaults();
+        d.on_execution_start(0);
+        let s = store_event(1, 0, 0x1000, Atomicity::Plain, 1, "x");
+        d.on_store_executed(&s);
+        d.on_store_committed(&s);
+        d.on_crash(0);
+        d.on_execution_start(1);
+        d.on_pre_exec_read(&load_info(1, 0x1000), &[&s], &[&s]);
+        let reports = d.drain_reports();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].kind(), ReportKind::PersistencyRace);
+        assert_eq!(reports[0].label(), "x");
+    }
+
+    #[test]
+    fn atomic_store_never_races() {
+        let mut d = YashmeDetector::with_defaults();
+        let s = store_event(1, 0, 0x1000, Atomicity::ReleaseAcquire, 1, "x");
+        d.on_pre_exec_read(&load_info(1, 0x1000), &[&s], &[&s]);
+        assert!(d.drain_reports().is_empty());
+    }
+
+    #[test]
+    fn flush_observed_in_prefix_suppresses_race() {
+        // store (clock 1) → clflush (clock 2); post-crash execution reads a
+        // *later* store (clock 3), pulling the flush into the prefix.
+        let mut d = YashmeDetector::with_defaults();
+        let s = store_event(1, 0, 0x1000, Atomicity::Plain, 1, "x");
+        let f = flush_event(2, 0, 0x1000, 2);
+        d.on_clflush_committed(&f, &[&s]);
+        let later = store_event(3, 0, 0x1008, Atomicity::Plain, 3, "y");
+        // Reading `later` first forces CVpre past the flush.
+        d.on_pre_exec_read(&load_info(1, 0x1008), &[&later], &[]);
+        d.on_pre_exec_read(&load_info(1, 0x1000), &[&s], &[&s]);
+        let reports = d.drain_reports();
+        // `y` itself races (unflushed) but `x` must not.
+        assert!(reports.iter().all(|r| r.label() != "x"), "{reports:?}");
+    }
+
+    #[test]
+    fn flush_outside_prefix_is_ignored_in_prefix_mode() {
+        // Figure 6(a): the flush committed pre-crash, but nothing the
+        // post-crash execution read forces it into the prefix.
+        let mut d = YashmeDetector::with_defaults();
+        let s = store_event(1, 0, 0x1000, Atomicity::Plain, 1, "x");
+        let f = flush_event(2, 0, 0x1000, 2);
+        d.on_clflush_committed(&f, &[&s]);
+        d.on_pre_exec_read(&load_info(1, 0x1000), &[&s], &[&s]);
+        let reports = d.drain_reports();
+        assert_eq!(reports.len(), 1, "prefix mode detects the race");
+    }
+
+    #[test]
+    fn baseline_mode_accepts_any_precrash_flush() {
+        let mut d = YashmeDetector::new(YashmeConfig::baseline());
+        let s = store_event(1, 0, 0x1000, Atomicity::Plain, 1, "x");
+        let f = flush_event(2, 0, 0x1000, 2);
+        d.on_clflush_committed(&f, &[&s]);
+        d.on_pre_exec_read(&load_info(1, 0x1000), &[&s], &[&s]);
+        assert!(d.drain_reports().is_empty(), "baseline misses the race");
+    }
+
+    #[test]
+    fn coherence_via_release_store_suppresses_race() {
+        // Figure 5(a): x=1 (plain) hb y_rel=1 (release, same line); the
+        // post-crash execution reads y first, then x.
+        let mut d = YashmeDetector::with_defaults();
+        let x = store_event(1, 0, 0x1000, Atomicity::Plain, 1, "x");
+        let mut y = store_event(2, 0, 0x1008, Atomicity::ReleaseAcquire, 2, "y");
+        y.cv = VectorClock::singleton(ThreadId::MAIN, 2);
+        let mut load_y = load_info(1, 0x1008);
+        load_y.atomicity = Atomicity::ReleaseAcquire;
+        d.on_pre_exec_read(&load_y, &[&y], &[&y]);
+        d.on_pre_exec_read(&load_info(1, 0x1000), &[&x], &[&x]);
+        assert!(d.drain_reports().is_empty());
+    }
+
+    #[test]
+    fn coherence_does_not_cover_concurrent_store() {
+        // A release store on the same line that does NOT happen-after the
+        // plain store gives no coherence guarantee.
+        let mut d = YashmeDetector::with_defaults();
+        let t1 = ThreadId::new(1);
+        let x = StoreEvent {
+            id: 1,
+            exec: 0,
+            thread: t1,
+            cv: VectorClock::singleton(t1, 5),
+            clock: 5,
+            atomicity: Atomicity::Plain,
+            addr: Addr(0x1000),
+            bytes: vec![0; 8],
+            invented: false,
+            label: "x",
+            seq: Some(1),
+        };
+        let y = store_event(2, 0, 0x1008, Atomicity::ReleaseAcquire, 2, "y");
+        let mut load_y = load_info(1, 0x1008);
+        load_y.atomicity = Atomicity::ReleaseAcquire;
+        d.on_pre_exec_read(&load_y, &[&y], &[&y]);
+        d.on_pre_exec_read(&load_info(1, 0x1000), &[&x], &[&x]);
+        let reports = d.drain_reports();
+        assert_eq!(reports.len(), 1, "concurrent store still races");
+    }
+
+    #[test]
+    fn clwb_record_uses_fence_clock() {
+        let mut d = YashmeDetector::with_defaults();
+        let s = store_event(1, 0, 0x1000, Atomicity::Plain, 1, "x");
+        let mut clwb = flush_event(2, 0, 0x1000, 2);
+        clwb.kind = jaaru::FlushKind::Clwb;
+        let fence_cv = VectorClock::singleton(ThreadId::MAIN, 4);
+        d.on_clwb_fenced(&clwb, &fence_cv, &[&s]);
+        // A read that pulls clock 4 into the prefix makes the flush
+        // effective.
+        let later = store_event(3, 0, 0x2000, Atomicity::Plain, 5, "z");
+        d.on_pre_exec_read(&load_info(1, 0x2000), &[&later], &[]);
+        d.on_pre_exec_read(&load_info(1, 0x1000), &[&s], &[&s]);
+        let reports = d.drain_reports();
+        assert!(reports.iter().all(|r| r.label() != "x"), "{reports:?}");
+    }
+
+    #[test]
+    fn checksum_scope_downgrades_to_benign() {
+        let mut d = YashmeDetector::with_defaults();
+        let s = store_event(1, 0, 0x1000, Atomicity::Plain, 1, "x");
+        let mut li = load_info(1, 0x1000);
+        li.validated = true;
+        d.on_pre_exec_read(&li, &[&s], &[&s]);
+        let reports = d.drain_reports();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].kind(), ReportKind::BenignChecksum);
+    }
+
+    #[test]
+    fn duplicate_labels_reported_once() {
+        let mut d = YashmeDetector::with_defaults();
+        let s1 = store_event(1, 0, 0x1000, Atomicity::Plain, 1, "x");
+        let s2 = store_event(2, 0, 0x2000, Atomicity::Plain, 2, "x");
+        d.on_pre_exec_read(&load_info(1, 0x1000), &[&s1], &[&s1]);
+        d.on_pre_exec_read(&load_info(1, 0x2000), &[&s2], &[&s2]);
+        assert_eq!(d.drain_reports().len(), 1);
+    }
+}

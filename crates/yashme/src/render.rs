@@ -1,0 +1,113 @@
+//! Rendering of race reports in the paper's table styles.
+
+use std::fmt::Write as _;
+
+use jaaru::{RaceReport, ReportKind, RunReport};
+
+/// Renders Table 3 / Table 4 style rows: `# <tab> Benchmark <tab> Root
+/// Cause of Bug`, one row per de-duplicated true race, numbering
+/// continuing from `first_index`.
+///
+/// Returns the rendered rows and the next free index.
+pub fn render_race_rows(
+    benchmark: &str,
+    report: &RunReport,
+    first_index: usize,
+) -> (String, usize) {
+    let mut out = String::new();
+    let mut idx = first_index;
+    for label in report.race_labels() {
+        writeln!(out, "{idx}\t{benchmark}\t{label}").expect("write to string");
+        idx += 1;
+    }
+    (out, idx)
+}
+
+/// Renders the Figure 11/12-style detail for one report: the store site
+/// with address, execution, and thread.
+pub fn render_detail(benchmark: &str, report: &RaceReport) -> String {
+    format!(
+        "[{}] write to {} at address {} (execution {}, thread {}) — {}",
+        benchmark,
+        report.label(),
+        report.addr(),
+        report.store_exec(),
+        report.store_thread(),
+        report.detail(),
+    )
+}
+
+/// Renders a summary block: counts by kind plus crash symptoms.
+pub fn render_summary(report: &RunReport) -> String {
+    let races = report
+        .races()
+        .iter()
+        .filter(|r| r.kind() == ReportKind::PersistencyRace)
+        .count();
+    let benign = report
+        .races()
+        .iter()
+        .filter(|r| r.kind() == ReportKind::BenignChecksum)
+        .count();
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{races} persistency race(s), {benign} benign checksum report(s), \
+         {} post-crash panic(s) over {} execution(s) ({} crash point(s), {:?})",
+        report.post_crash_panics().len(),
+        report.executions(),
+        report.crash_points(),
+        report.elapsed(),
+    )
+    .expect("write to string");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jaaru::{Atomicity, Ctx, Program};
+
+    fn sample_report() -> RunReport {
+        let program = Program::new("sample")
+            .pre_crash(|ctx: &mut Ctx| {
+                let x = ctx.root();
+                ctx.store_u64(x, 1, Atomicity::Plain, "field.a");
+                ctx.store_u64(x + 8, 2, Atomicity::Plain, "field.b");
+            })
+            .post_crash(|ctx: &mut Ctx| {
+                let x = ctx.root();
+                let _ = ctx.load_u64(x, Atomicity::Plain);
+                let _ = ctx.load_u64(x + 8, Atomicity::Plain);
+            });
+        crate::model_check(&program)
+    }
+
+    #[test]
+    fn rows_are_numbered_consecutively() {
+        let report = sample_report();
+        let (rows, next) = render_race_rows("Sample", &report, 5);
+        assert_eq!(next, 7);
+        assert!(rows.contains("5\tSample\t"));
+        assert!(rows.contains("6\tSample\t"));
+        assert!(rows.contains("field.a"));
+        assert!(rows.contains("field.b"));
+    }
+
+    #[test]
+    fn detail_names_store_site() {
+        let report = sample_report();
+        let detail = render_detail("Sample", &report.races()[0]);
+        assert!(detail.contains("[Sample]"));
+        assert!(detail.contains("execution 0"));
+        assert!(detail.contains("T0"));
+    }
+
+    #[test]
+    fn summary_counts_kinds() {
+        let report = sample_report();
+        let s = render_summary(&report);
+        assert!(s.contains("2 persistency race(s)"));
+        assert!(s.contains("0 benign"));
+    }
+}

@@ -1,0 +1,54 @@
+//! Execution tracing: attach a `TraceSink` next to the detector with a
+//! `TeeSink` and print what the execution actually did — the debugging
+//! workflow for understanding a race report.
+//!
+//! Run with: `cargo run --example trace_demo`
+
+use jaaru::{TeeSink, TraceSink};
+use yashme_repro::prelude::*;
+
+fn main() {
+    let tracer = TraceSink::new();
+    let lines = tracer.lines();
+
+    let program = Program::new("traced")
+        .pre_crash(|ctx: &mut Ctx| {
+            let key = ctx.root();
+            let value = ctx.root_slot(1);
+            ctx.store_u64(value, 7070, Atomicity::Plain, "Pair.value");
+            ctx.mfence();
+            ctx.store_u64(key, 707, Atomicity::Plain, "Pair.key");
+            ctx.clflush(key);
+            ctx.sfence();
+        })
+        .post_crash(|ctx: &mut Ctx| {
+            let key = ctx.root();
+            let value = ctx.root_slot(1);
+            if ctx.load_u64(key, Atomicity::Plain) == 707 {
+                let _ = ctx.load_u64(value, Atomicity::Plain);
+            }
+        });
+
+    let run = jaaru::Engine::run_single(
+        &program,
+        SchedPolicy::Deterministic,
+        PersistencePolicy::FullCache,
+        0,
+        None,
+        Box::new(TeeSink::new(
+            YashmeDetector::with_defaults(),
+            tracer,
+        )),
+    );
+
+    println!("=== execution trace ===");
+    for line in lines.lock().unwrap().iter() {
+        println!("{line}");
+    }
+    println!();
+    println!("=== detector reports ===");
+    for report in &run.reports {
+        println!("{report}");
+    }
+    assert!(!run.reports.is_empty());
+}

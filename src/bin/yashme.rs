@@ -1,0 +1,222 @@
+//! The `yashme` command-line tool: run the persistency-race detector over
+//! any registered benchmark.
+//!
+//! ```text
+//! yashme --list
+//! yashme --benchmark CCEH
+//! yashme --benchmark Memcached --mode random --executions 50 --seed 7
+//! yashme --all --baseline
+//! yashme --benchmark Fast_Fair --eadr --details
+//! ```
+
+use std::process::ExitCode;
+
+use bench::{evaluation_suite, SuiteEntry};
+use jaaru::ExecMode;
+use yashme::{render, YashmeConfig};
+
+#[derive(Debug)]
+struct Options {
+    benchmark: Option<String>,
+    all: bool,
+    list: bool,
+    mode: Mode,
+    executions: usize,
+    seed: u64,
+    baseline: bool,
+    eadr: bool,
+    details: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Auto,
+    ModelCheck,
+    Random,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            benchmark: None,
+            all: false,
+            list: false,
+            mode: Mode::Auto,
+            executions: 20,
+            seed: bench::HARNESS_SEED,
+            baseline: false,
+            eadr: false,
+            details: false,
+        }
+    }
+}
+
+fn usage() -> &'static str {
+    "usage: yashme (--list | --all | --benchmark <NAME>) \
+     [--mode model-check|random] [--executions N] [--seed S] \
+     [--baseline] [--eadr] [--details]"
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--list" => opts.list = true,
+            "--all" => opts.all = true,
+            "--benchmark" | "-b" => {
+                opts.benchmark = Some(
+                    it.next()
+                        .ok_or_else(|| "--benchmark needs a name".to_owned())?
+                        .clone(),
+                )
+            }
+            "--mode" => {
+                opts.mode = match it
+                    .next()
+                    .ok_or_else(|| "--mode needs a value".to_owned())?
+                    .as_str()
+                {
+                    "model-check" => Mode::ModelCheck,
+                    "random" => Mode::Random,
+                    other => return Err(format!("unknown mode {other:?}")),
+                }
+            }
+            "--executions" | "-n" => {
+                opts.executions = it
+                    .next()
+                    .ok_or_else(|| "--executions needs a number".to_owned())?
+                    .parse()
+                    .map_err(|e| format!("bad --executions: {e}"))?
+            }
+            "--seed" => {
+                opts.seed = it
+                    .next()
+                    .ok_or_else(|| "--seed needs a number".to_owned())?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?
+            }
+            "--baseline" => opts.baseline = true,
+            "--eadr" => opts.eadr = true,
+            "--details" => opts.details = true,
+            "--help" | "-h" => return Err(usage().to_owned()),
+            other => return Err(format!("unknown argument {other:?}\n{}", usage())),
+        }
+    }
+    if !opts.list && !opts.all && opts.benchmark.is_none() {
+        return Err(usage().to_owned());
+    }
+    Ok(opts)
+}
+
+fn config_of(opts: &Options) -> YashmeConfig {
+    let mut cfg = if opts.baseline {
+        YashmeConfig::baseline()
+    } else {
+        YashmeConfig::default()
+    };
+    cfg.eadr = opts.eadr;
+    cfg
+}
+
+fn run_one(entry: &SuiteEntry, opts: &Options) -> usize {
+    let program = (entry.program)();
+    let mode = match (opts.mode, entry.mode) {
+        (Mode::ModelCheck, _) => ExecMode::model_check(),
+        (Mode::Random, _) => ExecMode::random(opts.executions, opts.seed),
+        (Mode::Auto, bench::SuiteMode::ModelCheck) => ExecMode::model_check(),
+        (Mode::Auto, bench::SuiteMode::Random(n)) => ExecMode::random(n, opts.seed),
+    };
+    let report = yashme::check(&program, mode, config_of(opts));
+    println!("== {} ==", entry.name);
+    print!("{}", render::render_summary(&report));
+    let (rows, _) = render::render_race_rows(entry.name, &report, 1);
+    if rows.is_empty() {
+        println!("no persistency races found");
+    } else {
+        print!("{rows}");
+    }
+    if opts.details {
+        for r in report.races() {
+            println!("  {}", render::render_detail(entry.name, r));
+        }
+    }
+    println!();
+    report.race_labels().len()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut suite = evaluation_suite();
+    // Extension benchmarks (beyond the paper's evaluation).
+    suite.push(SuiteEntry {
+        name: "x-skiplist",
+        program: || extras::pskiplist::program(extras::Variant::Racy),
+        mode: bench::SuiteMode::ModelCheck,
+    });
+    suite.push(SuiteEntry {
+        name: "x-skiplist-fixed",
+        program: || extras::pskiplist::program(extras::Variant::Fixed),
+        mode: bench::SuiteMode::ModelCheck,
+    });
+    suite.push(SuiteEntry {
+        name: "x-queue",
+        program: || extras::pqueue::program(extras::Variant::Racy),
+        mode: bench::SuiteMode::ModelCheck,
+    });
+    suite.push(SuiteEntry {
+        name: "x-queue-fixed",
+        program: || extras::pqueue::program(extras::Variant::Fixed),
+        mode: bench::SuiteMode::ModelCheck,
+    });
+    suite.push(SuiteEntry {
+        name: "x-pmemlog",
+        program: pmdk::plog::program,
+        mode: bench::SuiteMode::ModelCheck,
+    });
+    if opts.list {
+        println!("registered benchmarks:");
+        for e in &suite {
+            println!(
+                "  {:<16} ({})",
+                e.name,
+                match e.mode {
+                    bench::SuiteMode::ModelCheck => "model-check",
+                    bench::SuiteMode::Random(_) => "random",
+                }
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+    let mut total = 0;
+    if opts.all {
+        for e in &suite {
+            total += run_one(e, &opts);
+        }
+    } else if let Some(name) = &opts.benchmark {
+        match suite
+            .iter()
+            .find(|e| e.name.eq_ignore_ascii_case(name))
+        {
+            Some(e) => total += run_one(e, &opts),
+            None => {
+                eprintln!("unknown benchmark {name:?}; try --list");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    println!("total: {total} persistency race(s)");
+    // Exit code 1 when races were found, like a linter.
+    if total > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
