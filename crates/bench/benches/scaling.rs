@@ -47,5 +47,9 @@ fn bench_single_execution_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_model_check_scaling, bench_single_execution_scaling);
+criterion_group!(
+    benches,
+    bench_model_check_scaling,
+    bench_single_execution_scaling
+);
 criterion_main!(benches);

@@ -1,0 +1,132 @@
+//! Measures the parallel crash-point exploration engine: sequential
+//! (workers=1) vs parallel wall time per benchmark, verifying the reports
+//! are identical, and writes the results to `BENCH_parallel.json`.
+//!
+//! Usage: `parallel [--workers N] [--out PATH]` — `--workers` defaults to
+//! 4 (the configuration quoted in EXPERIMENTS.md); `--out` defaults to
+//! `BENCH_parallel.json` in the current directory.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use bench::{evaluation_suite, SuiteMode, HARNESS_SEED};
+use jaaru::{EngineConfig, ExecMode};
+use yashme::{RunReport, YashmeConfig};
+
+struct Row {
+    name: &'static str,
+    executions: usize,
+    sequential: Duration,
+    parallel: Duration,
+    identical: bool,
+}
+
+fn timed_run(entry: &bench::SuiteEntry, engine: &EngineConfig) -> (RunReport, Duration) {
+    let program = (entry.program)();
+    let mode = match entry.mode {
+        SuiteMode::ModelCheck => ExecMode::model_check(),
+        SuiteMode::Random(n) => ExecMode::random(n, HARNESS_SEED),
+    };
+    let start = Instant::now();
+    let report = yashme::check_with(&program, mode, YashmeConfig::default(), engine);
+    (report, start.elapsed())
+}
+
+fn report_key(report: &RunReport) -> Vec<(yashme::ReportKind, &'static str)> {
+    report
+        .races()
+        .iter()
+        .map(|r| (r.kind(), r.label()))
+        .collect()
+}
+
+fn main() {
+    let mut workers = 4usize;
+    let mut out = String::from("BENCH_parallel.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workers" => workers = args.next().and_then(|v| v.parse().ok()).unwrap_or(workers),
+            "--out" => out = args.next().unwrap_or(out),
+            _ => {}
+        }
+    }
+    let parallel_cfg = EngineConfig::with_workers(workers);
+    let sequential_cfg = EngineConfig::sequential();
+
+    println!("Parallel engine benchmark: sequential vs {workers} workers");
+    println!();
+    println!(
+        "{:<16}\tSequential\tParallel\tSpeedup\tIdentical",
+        "Benchmark"
+    );
+    let mut rows = Vec::new();
+    for entry in evaluation_suite() {
+        let (seq_report, sequential) = timed_run(&entry, &sequential_cfg);
+        let (par_report, parallel) = timed_run(&entry, &parallel_cfg);
+        let identical = report_key(&seq_report) == report_key(&par_report)
+            && seq_report.executions() == par_report.executions();
+        println!(
+            "{:<16}\t{:.3?}\t{:.3?}\t{:.2}x\t{}",
+            entry.name,
+            sequential,
+            parallel,
+            sequential.as_secs_f64() / parallel.as_secs_f64().max(1e-9),
+            identical
+        );
+        rows.push(Row {
+            name: entry.name,
+            executions: seq_report.executions(),
+            sequential,
+            parallel,
+            identical,
+        });
+    }
+
+    let total_seq: Duration = rows.iter().map(|r| r.sequential).sum();
+    let total_par: Duration = rows.iter().map(|r| r.parallel).sum();
+    let speedup = total_seq.as_secs_f64() / total_par.as_secs_f64().max(1e-9);
+    let all_identical = rows.iter().all(|r| r.identical);
+    println!();
+    println!(
+        "total: sequential {total_seq:.3?} vs parallel {total_par:.3?} ({speedup:.2}x), reports identical: {all_identical}"
+    );
+
+    // serde is stubbed out in this offline build, so render the JSON by
+    // hand; every field is a number, bool, or plain benchmark name.
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"workers\": {workers},");
+    let _ = writeln!(json, "  \"seed\": {HARNESS_SEED},");
+    let _ = writeln!(
+        json,
+        "  \"sequential_total_s\": {:.6},",
+        total_seq.as_secs_f64()
+    );
+    let _ = writeln!(
+        json,
+        "  \"parallel_total_s\": {:.6},",
+        total_par.as_secs_f64()
+    );
+    let _ = writeln!(json, "  \"speedup\": {speedup:.3},");
+    let _ = writeln!(json, "  \"reports_identical\": {all_identical},");
+    json.push_str("  \"benchmarks\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"executions\": {}, \"sequential_s\": {:.6}, \"parallel_s\": {:.6}, \"speedup\": {:.3}, \"identical\": {}}}{}",
+            row.name,
+            row.executions,
+            row.sequential.as_secs_f64(),
+            row.parallel.as_secs_f64(),
+            row.sequential.as_secs_f64() / row.parallel.as_secs_f64().max(1e-9),
+            row.identical,
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out, json).expect("write benchmark json");
+    println!("wrote {out}");
+    if !all_identical {
+        std::process::exit(1);
+    }
+}

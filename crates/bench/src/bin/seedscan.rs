@@ -5,10 +5,19 @@ use bench::{evaluation_suite, table5_row};
 
 fn main() {
     let paper: &[(&str, usize, usize)] = &[
-        ("CCEH", 2, 0), ("Fast_Fair", 2, 1), ("P-ART", 0, 0), ("P-BwTree", 0, 0),
-        ("P-CLHT", 0, 0), ("P-Masstree", 2, 0), ("Btree", 1, 0), ("Ctree", 1, 0),
-        ("RBtree", 1, 0), ("hashmap-atomic", 1, 0), ("hashmap-tx", 1, 0),
-        ("Redis", 0, 0), ("Memcached", 4, 2),
+        ("CCEH", 2, 0),
+        ("Fast_Fair", 2, 1),
+        ("P-ART", 0, 0),
+        ("P-BwTree", 0, 0),
+        ("P-CLHT", 0, 0),
+        ("P-Masstree", 2, 0),
+        ("Btree", 1, 0),
+        ("Ctree", 1, 0),
+        ("RBtree", 1, 0),
+        ("hashmap-atomic", 1, 0),
+        ("hashmap-tx", 1, 0),
+        ("Redis", 0, 0),
+        ("Memcached", 4, 2),
     ];
     let suite = evaluation_suite();
     let mut best = (u64::MAX, usize::MAX);

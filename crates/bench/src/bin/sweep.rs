@@ -11,7 +11,11 @@ fn main() {
     println!("Detection rate vs execution budget (random mode, seed 15)");
     println!();
     for (name, program, known) in [
-        ("CCEH", recipe::cceh::program(), recipe::cceh::EXPECTED_RACES.len()),
+        (
+            "CCEH",
+            recipe::cceh::program(),
+            recipe::cceh::EXPECTED_RACES.len(),
+        ),
         (
             "Fast_Fair",
             recipe::fastfair::program(),

@@ -1,14 +1,18 @@
 //! Regenerates Table 3 (and the Figure 11 detail): the persistency races
 //! model checking finds in CCEH, FAST_FAIR, and the RECIPE benchmarks.
+//!
+//! `--workers N` (or `YASHME_WORKERS`) fans crash-point exploration out
+//! over a worker pool; the table is identical at every worker count.
 
 fn main() {
+    let engine = bench::cli_engine_config();
     println!("Table 3: races found in CCEH, FAST_FAIR, and RECIPE benchmarks");
     println!();
     println!("#\tBenchmark\tRoot Cause of Bug");
     let mut idx = 1;
     let mut total = 0;
     for spec in recipe::all_benchmarks() {
-        let report = yashme::model_check(&(spec.program)());
+        let report = yashme::model_check_with(&(spec.program)(), &engine);
         let labels = report.race_labels();
         for label in &labels {
             println!("{idx}\t{}\t{label}", spec.name);

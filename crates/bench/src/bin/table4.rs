@@ -3,9 +3,10 @@
 
 use std::collections::BTreeSet;
 
-use bench::{bug_finding_run, evaluation_suite};
+use bench::{bug_finding_run_with, evaluation_suite};
 
 fn main() {
+    let engine = bench::cli_engine_config();
     println!("Table 4: races found in PMDK, Redis, and Memcached (random mode)");
     println!();
     println!("#\tBenchmark\tRoot Cause of Bug");
@@ -20,7 +21,7 @@ fn main() {
         ) {
             continue;
         }
-        let report = bug_finding_run(&entry);
+        let report = bug_finding_run_with(&entry, &engine);
         for label in report.race_labels() {
             pmdk_labels.insert(label.to_owned());
         }
@@ -34,7 +35,7 @@ fn main() {
         if entry.name != "Memcached" {
             continue;
         }
-        let report = bug_finding_run(&entry);
+        let report = bug_finding_run_with(&entry, &engine);
         for label in report.race_labels() {
             memcached_labels.push(label);
             println!("{idx}\tmemcached\t{label}");
@@ -48,11 +49,11 @@ fn main() {
         if entry.name != "Redis" {
             continue;
         }
-        let report = bug_finding_run(&entry);
+        let report = bug_finding_run_with(&entry, &engine);
         let fresh: Vec<_> = report
             .race_labels()
             .into_iter()
-            .filter(|l| !pmdk_labels.contains(**&l))
+            .filter(|l| !pmdk_labels.contains(*l))
             .collect();
         println!();
         println!(

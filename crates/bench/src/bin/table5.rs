@@ -1,9 +1,11 @@
 //! Regenerates Table 5: races detected with and without prefix-based
 //! expansion for a single random execution, and Yashme-vs-Jaaru run times.
 
-use bench::{evaluation_suite, table5_row, HARNESS_SEED};
+use bench::{evaluation_suite, table5_row_with, HARNESS_SEED};
+use jaaru::EngineConfig;
 
 fn main() {
+    let engine = bench::cli_engine_config();
     println!("Table 5: prefix vs baseline (single random execution, seed {HARNESS_SEED})");
     println!();
     println!(
@@ -13,7 +15,7 @@ fn main() {
     let mut total_prefix = 0;
     let mut total_baseline = 0;
     for entry in evaluation_suite() {
-        let row = table5_row(&entry, HARNESS_SEED);
+        let row = table5_row_with(&entry, HARNESS_SEED, &engine);
         println!(
             "{:<16}\t{}\t{}\t{:.3?}\t{:.3?}",
             row.name, row.prefix, row.baseline, row.yashme_time, row.jaaru_time
@@ -25,14 +27,14 @@ fn main() {
     println!(
         "total: prefix {total_prefix} vs baseline {total_baseline} (paper: 15 vs 3, a ~5x ratio)"
     );
-    companion_sweep();
+    companion_sweep(&engine);
 }
 
 /// Companion sweep appended to the single-execution table: with more random
 /// executions the baseline does find the in-window crashes, but prefix
 /// expansion stays far ahead — the §7.3 point that prefixes generalize
 /// executions.
-fn companion_sweep() {
+fn companion_sweep(engine: &EngineConfig) {
     use jaaru::ExecMode;
     use yashme::YashmeConfig;
     println!();
@@ -43,17 +45,19 @@ fn companion_sweep() {
     let mut total_baseline = 0;
     for entry in evaluation_suite() {
         let program = (entry.program)();
-        let prefix = yashme::check(
+        let prefix = yashme::check_with(
             &program,
             ExecMode::random(20, HARNESS_SEED),
             YashmeConfig::default(),
+            engine,
         )
         .race_labels()
         .len();
-        let baseline = yashme::check(
+        let baseline = yashme::check_with(
             &program,
             ExecMode::random(20, HARNESS_SEED),
             YashmeConfig::baseline(),
+            engine,
         )
         .race_labels()
         .len();

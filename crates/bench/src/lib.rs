@@ -11,7 +11,7 @@ pub mod workload;
 
 use std::time::{Duration, Instant};
 
-use jaaru::{Engine, ExecMode, Program, RaceReport};
+use jaaru::{Engine, EngineConfig, ExecMode, Program, RaceReport};
 use yashme::{YashmeConfig, YashmeDetector};
 
 /// Which engine mode the paper used for a benchmark (§7.1: indexes are
@@ -76,6 +76,28 @@ pub fn evaluation_suite() -> Vec<SuiteEntry> {
 /// The fixed seed the harness uses (documented in EXPERIMENTS.md).
 pub const HARNESS_SEED: u64 = 15;
 
+/// Engine configuration from the command line: `--workers N` (also
+/// `--workers=N`; `0` or `auto` = one worker per CPU) overrides the
+/// `YASHME_WORKERS` environment variable; with neither set the harness
+/// runs sequentially. Reports are identical at every worker count.
+pub fn cli_engine_config() -> EngineConfig {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let value = if arg == "--workers" {
+            args.next()
+        } else {
+            arg.strip_prefix("--workers=").map(str::to_owned)
+        };
+        if let Some(v) = value {
+            if v.eq_ignore_ascii_case("auto") {
+                return EngineConfig::with_workers(0);
+            }
+            return EngineConfig::with_workers(v.parse().unwrap_or(1));
+        }
+    }
+    EngineConfig::from_env()
+}
+
 /// One row of Table 5.
 #[derive(Debug, Clone)]
 pub struct Table5Row {
@@ -98,18 +120,26 @@ pub fn single_random_races(program: &Program, config: YashmeConfig, seed: u64) -
     report.true_races().cloned().collect()
 }
 
-/// Measures one Table 5 row.
+/// Measures one Table 5 row (sequential engine).
 pub fn table5_row(entry: &SuiteEntry, seed: u64) -> Table5Row {
+    table5_row_with(entry, seed, &EngineConfig::sequential())
+}
+
+/// Measures one Table 5 row under the given engine configuration.
+pub fn table5_row_with(entry: &SuiteEntry, seed: u64, engine: &EngineConfig) -> Table5Row {
     let program = (entry.program)();
-    let prefix = single_random_races(&program, YashmeConfig::default(), seed).len();
-    let baseline = single_random_races(&program, YashmeConfig::baseline(), seed).len();
+    let mode = ExecMode::random(1, seed);
+    let prefix = yashme::check_with(&program, mode, YashmeConfig::default(), engine)
+        .true_races()
+        .count();
+    let baseline = yashme::check_with(&program, mode, YashmeConfig::baseline(), engine)
+        .true_races()
+        .count();
     let start = Instant::now();
-    let _ = yashme::check(&program, ExecMode::random(1, seed), YashmeConfig::default());
+    let _ = yashme::check_with(&program, mode, YashmeConfig::default(), engine);
     let yashme_time = start.elapsed();
     let start = Instant::now();
-    let _ = Engine::run(&program, ExecMode::random(1, seed), &|| {
-        Box::new(jaaru::NullSink)
-    });
+    let _ = Engine::run_with(&program, mode, &|| Box::new(jaaru::NullSink), engine);
     let jaaru_time = start.elapsed();
     Table5Row {
         name: entry.name,
@@ -122,12 +152,17 @@ pub fn table5_row(entry: &SuiteEntry, seed: u64) -> Table5Row {
 
 /// Runs a benchmark in its paper mode and returns the full report.
 pub fn bug_finding_run(entry: &SuiteEntry) -> yashme::RunReport {
+    bug_finding_run_with(entry, &EngineConfig::sequential())
+}
+
+/// [`bug_finding_run`] under the given engine configuration.
+pub fn bug_finding_run_with(entry: &SuiteEntry, engine: &EngineConfig) -> yashme::RunReport {
     let program = (entry.program)();
     let mode = match entry.mode {
         SuiteMode::ModelCheck => ExecMode::model_check(),
         SuiteMode::Random(n) => ExecMode::random(n, HARNESS_SEED),
     };
-    yashme::check(&program, mode, YashmeConfig::default())
+    yashme::check_with(&program, mode, YashmeConfig::default(), engine)
 }
 
 /// Builds a detector boxed for engine use (bench helper).

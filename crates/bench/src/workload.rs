@@ -48,7 +48,7 @@ impl WorkloadConfig {
     fn keys(&self) -> Vec<u64> {
         let mut rng = StdRng::seed_from_u64(self.seed);
         (0..self.inserts)
-            .map(|_| rng.gen_range(100..100_000) * 2 + 1) // odd, nonzero
+            .map(|_| rng.gen_range(100u64..100_000) * 2 + 1) // odd, nonzero
             .collect()
     }
 }
@@ -112,7 +112,10 @@ mod tests {
 
     #[test]
     fn keys_are_deterministic_per_seed() {
-        assert_eq!(WorkloadConfig::small().keys(), WorkloadConfig::small().keys());
+        assert_eq!(
+            WorkloadConfig::small().keys(),
+            WorkloadConfig::small().keys()
+        );
         let other = WorkloadConfig {
             seed: 2,
             ..WorkloadConfig::small()

@@ -1,0 +1,75 @@
+//! Parallel exploration on the real evaluation suite: worker pools must
+//! reproduce the sequential reports exactly, and (on multi-core hosts)
+//! faster.
+
+use bench::{bug_finding_run_with, evaluation_suite};
+use jaaru::EngineConfig;
+use yashme::{ReportKind, RunReport};
+
+fn fingerprint(report: &RunReport) -> Vec<(ReportKind, &'static str)> {
+    report
+        .races()
+        .iter()
+        .map(|r| (r.kind(), r.label()))
+        .collect()
+}
+
+#[test]
+fn suite_index_benchmarks_are_worker_count_invariant() {
+    // Two model-checked index benchmarks with real race populations; the
+    // de-duplicated reports must be identical at 1 and 8 workers.
+    let suite = evaluation_suite();
+    let mut checked = 0;
+    for entry in &suite {
+        if !matches!(entry.name, "CCEH" | "Fast_Fair") {
+            continue;
+        }
+        let seq = bug_finding_run_with(entry, &EngineConfig::with_workers(1));
+        let par = bug_finding_run_with(entry, &EngineConfig::with_workers(8));
+        assert_eq!(fingerprint(&seq), fingerprint(&par), "{}", entry.name);
+        assert_eq!(seq.executions(), par.executions(), "{}", entry.name);
+        assert!(
+            !seq.races().is_empty(),
+            "{} should report races",
+            entry.name
+        );
+        checked += 1;
+    }
+    assert_eq!(checked, 2);
+}
+
+/// Acceptance benchmark: 4 workers at least 2x faster than 1 on a suite
+/// index benchmark, with identical reports. Ignored by default because it
+/// needs >= 4 physical CPUs (this repo's CI containers expose one, where
+/// the bound is unachievable); run with `cargo test --release -p bench --
+/// --ignored` on a multi-core host.
+#[test]
+#[ignore = "requires >= 4 CPUs; run explicitly with -- --ignored"]
+fn four_workers_double_throughput_on_multicore() {
+    let cpus = std::thread::available_parallelism().map_or(1, usize::from);
+    if cpus < 4 {
+        eprintln!("skipping speedup assertion: only {cpus} CPU(s) available");
+        return;
+    }
+    let entry = evaluation_suite()
+        .into_iter()
+        .find(|e| e.name == "Fast_Fair")
+        .expect("suite contains Fast_Fair");
+    let time = |workers: usize| {
+        let cfg = EngineConfig::with_workers(workers);
+        let start = std::time::Instant::now();
+        let mut report = None;
+        for _ in 0..10 {
+            report = Some(bug_finding_run_with(&entry, &cfg));
+        }
+        (start.elapsed(), report.expect("ran"))
+    };
+    let (sequential, seq_report) = time(1);
+    let (parallel, par_report) = time(4);
+    assert_eq!(fingerprint(&seq_report), fingerprint(&par_report));
+    let speedup = sequential.as_secs_f64() / parallel.as_secs_f64().max(1e-9);
+    assert!(
+        speedup >= 2.0,
+        "workers=4 should be >= 2x faster: {sequential:?} vs {parallel:?} ({speedup:.2}x)"
+    );
+}

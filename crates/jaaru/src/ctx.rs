@@ -159,7 +159,9 @@ impl Ctx {
         let bytes = self.shared.with_core(|core| {
             let out = core.mem.exec_load(tid, addr, len, atomicity);
             if !out.chosen.is_empty() || !out.candidates.is_empty() {
-                let info = core.mem.load_info(tid, addr, len, atomicity, label, checksum);
+                let info = core
+                    .mem
+                    .load_info(tid, addr, len, atomicity, label, checksum);
                 let Core { mem, sink, .. } = core;
                 let chosen: Vec<&StoreEvent> =
                     out.chosen.iter().map(|id| mem.store_event(*id)).collect();
@@ -259,8 +261,7 @@ impl Ctx {
             let Core { mem, sink, .. } = core;
             let (old, swapped, out) = mem.exec_cas(sink.as_mut(), tid, addr, expected, new, label);
             if !out.chosen.is_empty() || !out.candidates.is_empty() {
-                let info =
-                    mem.load_info(tid, addr, 8, Atomicity::ReleaseAcquire, label, checksum);
+                let info = mem.load_info(tid, addr, 8, Atomicity::ReleaseAcquire, label, checksum);
                 let chosen: Vec<&StoreEvent> =
                     out.chosen.iter().map(|id| mem.store_event(*id)).collect();
                 let candidates: Vec<&StoreEvent> = out

@@ -1,7 +1,16 @@
 //! The execution engine: drives programs through crash-separated phases in
 //! model-checking or random mode.
+//!
+//! Crash-point exploration is embarrassingly parallel: every injected crash
+//! target is an independent simulated run with its own [`MemState`] and
+//! sink. [`EngineConfig::workers`] sizes a bounded worker pool that fans
+//! those runs out over OS threads while keeping the aggregated
+//! [`RunReport`] byte-identical to a sequential run: per-run results are
+//! merged in crash-target order and the de-duplicated reports are stably
+//! sorted by `(kind, label)` regardless of worker count.
 
-use std::sync::Arc;
+use std::collections::HashSet;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use rand::rngs::StdRng;
@@ -63,6 +72,61 @@ impl ExecMode {
     }
 }
 
+/// Engine-level execution configuration, orthogonal to [`ExecMode`].
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Number of worker threads exploring crash points concurrently.
+    ///
+    /// `1` (the default) runs strictly sequentially on the calling thread.
+    /// `0` means "auto": one worker per available CPU. Because every
+    /// simulated run serializes its own `jaaru-task-*` threads through the
+    /// scheduler token, `workers` bounds *total* runnable concurrency, not
+    /// just top-level fan-out: at most `workers` OS threads make progress
+    /// at any instant no matter how many tasks each simulated run spawns.
+    pub workers: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig { workers: 1 }
+    }
+}
+
+impl EngineConfig {
+    /// Strictly sequential execution (the default).
+    pub fn sequential() -> Self {
+        EngineConfig::default()
+    }
+
+    /// A pool of `workers` threads; `0` selects one per available CPU.
+    pub fn with_workers(workers: usize) -> Self {
+        EngineConfig { workers }
+    }
+
+    /// Reads the `YASHME_WORKERS` environment variable: a worker count, or
+    /// `auto`/`0` for one worker per available CPU. Unset or unparsable
+    /// values fall back to sequential execution.
+    pub fn from_env() -> Self {
+        match std::env::var("YASHME_WORKERS") {
+            Ok(v) if v.eq_ignore_ascii_case("auto") => EngineConfig::with_workers(0),
+            Ok(v) => EngineConfig::with_workers(v.parse().unwrap_or(1)),
+            Err(_) => EngineConfig::default(),
+        }
+    }
+
+    /// The effective pool size: `workers`, with `0` resolved to the number
+    /// of available CPUs.
+    pub fn resolved_workers(&self) -> usize {
+        if self.workers == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            self.workers
+        }
+    }
+}
+
 /// Outcome of one (multi-phase) simulated run.
 #[derive(Debug, Default)]
 pub struct SingleRun {
@@ -76,8 +140,45 @@ pub struct SingleRun {
     pub stats: crate::mem::ExecStats,
 }
 
-/// Builds a fresh event sink for each simulated run.
-pub type SinkFactory<'a> = &'a dyn Fn() -> Box<dyn EventSink>;
+/// Builds a fresh event sink for each simulated run. `Sync` because the
+/// worker pool invokes it from several threads at once.
+pub type SinkFactory<'a> = &'a (dyn Fn() -> Box<dyn EventSink> + Sync);
+
+/// Parameters of one simulated run inside a fan-out batch.
+#[derive(Debug, Clone, Copy)]
+struct RunSpec {
+    policy: SchedPolicy,
+    persistence: PersistencePolicy,
+    seed: u64,
+    crash_target: Option<(usize, usize)>,
+}
+
+/// Order-preserving report accumulator with hashed `(kind, label)` dedup —
+/// replaces the old O(n²) linear-scan merge.
+#[derive(Debug, Default)]
+struct ReportSet {
+    seen: HashSet<(crate::ReportKind, crate::event::Label)>,
+    reports: Vec<RaceReport>,
+}
+
+impl ReportSet {
+    /// Adds `new`, keeping the first report per `(kind, label)` key.
+    fn merge(&mut self, new: Vec<RaceReport>) {
+        for report in new {
+            if self.seen.insert((report.kind(), report.label())) {
+                self.reports.push(report);
+            }
+        }
+    }
+
+    /// Finishes into a deterministic order: stable sort by `(kind, label)`,
+    /// making the output independent of worker count and merge order.
+    fn into_sorted(self) -> Vec<RaceReport> {
+        let mut reports = self.reports;
+        reports.sort_by_key(|r| (r.kind(), r.label()));
+        reports
+    }
+}
 
 /// The execution engine.
 ///
@@ -89,9 +190,25 @@ pub struct Engine;
 impl Engine {
     /// Runs `program` under `mode`, creating a detector per simulated run
     /// via `sink_factory`, and aggregates de-duplicated reports.
+    ///
+    /// Worker-pool sizing comes from the `YASHME_WORKERS` environment
+    /// variable (see [`EngineConfig::from_env`]); use [`Engine::run_with`]
+    /// to pass an explicit [`EngineConfig`].
     pub fn run(program: &Program, mode: ExecMode, sink_factory: SinkFactory<'_>) -> RunReport {
+        Self::run_with(program, mode, sink_factory, &EngineConfig::from_env())
+    }
+
+    /// [`Engine::run`] with explicit engine configuration. The report is
+    /// identical for every `config.workers` value.
+    pub fn run_with(
+        program: &Program,
+        mode: ExecMode,
+        sink_factory: SinkFactory<'_>,
+        config: &EngineConfig,
+    ) -> RunReport {
         let start = Instant::now();
-        let mut all_reports: Vec<RaceReport> = Vec::new();
+        let workers = config.resolved_workers();
+        let mut races = ReportSet::default();
         let mut all_panics: Vec<String> = Vec::new();
         let mut executions = 0usize;
         let crash_points;
@@ -100,87 +217,86 @@ impl Engine {
             ExecMode::ModelCheck(cfg) => {
                 // Profiling run: no injected crash (every phase runs to its
                 // end-of-phase crash); counts the crash points per phase.
-                let profile = Self::run_single(
-                    program,
-                    SchedPolicy::Deterministic,
-                    PersistencePolicy::FullCache,
-                    0,
-                    None,
-                    sink_factory(),
-                );
+                let profile_spec = RunSpec {
+                    policy: SchedPolicy::Deterministic,
+                    persistence: PersistencePolicy::FullCache,
+                    seed: 0,
+                    crash_target: None,
+                };
+                let profile = Self::run_spec(program, profile_spec, sink_factory());
                 crash_points = profile.points.iter().sum();
                 executions += 1;
-                merge(&mut all_reports, profile.reports);
-                all_panics.extend(profile.panics);
                 let phase0_points = profile.points.first().copied().unwrap_or(0);
-                for t in 0..phase0_points {
-                    let run = Self::run_single(
-                        program,
-                        SchedPolicy::Deterministic,
-                        PersistencePolicy::FullCache,
-                        0,
-                        Some((0, t)),
-                        sink_factory(),
-                    );
-                    executions += 1;
-                    merge(&mut all_reports, run.reports);
-                    all_panics.extend(run.panics);
-                }
+                let phase1_points = profile.points.get(1).copied().unwrap_or(0);
+                races.merge(profile.reports);
+                all_panics.extend(profile.panics);
+
+                // Fan out one run per crash target, in target order.
+                let mut specs: Vec<RunSpec> = (0..phase0_points)
+                    .map(|t| RunSpec {
+                        crash_target: Some((0, t)),
+                        ..profile_spec
+                    })
+                    .collect();
                 if cfg.crash_in_recovery {
-                    let phase1_points = profile.points.get(1).copied().unwrap_or(0);
-                    for t in 0..phase1_points {
-                        let run = Self::run_single(
-                            program,
-                            SchedPolicy::Deterministic,
-                            PersistencePolicy::FullCache,
-                            0,
-                            Some((1, t)),
-                            sink_factory(),
-                        );
-                        executions += 1;
-                        merge(&mut all_reports, run.reports);
-                        all_panics.extend(run.panics);
-                    }
+                    specs.extend((0..phase1_points).map(|t| RunSpec {
+                        crash_target: Some((1, t)),
+                        ..profile_spec
+                    }));
+                }
+                for run in Self::run_specs(program, specs, sink_factory, workers) {
+                    executions += 1;
+                    races.merge(run.reports);
+                    all_panics.extend(run.panics);
                 }
             }
             ExecMode::Random(cfg) => {
                 // One profiling run estimates the crash-point count.
-                let profile = Self::run_single(
+                let profile = Self::run_spec(
                     program,
-                    SchedPolicy::RandomChoice,
-                    PersistencePolicy::Random,
-                    cfg.seed,
-                    None,
+                    RunSpec {
+                        policy: SchedPolicy::RandomChoice,
+                        persistence: PersistencePolicy::Random,
+                        seed: cfg.seed,
+                        crash_target: None,
+                    },
                     sink_factory(),
                 );
                 crash_points = profile.points.iter().sum();
                 let est = profile.points.first().copied().unwrap_or(0);
+                // Seeds and crash targets are drawn up front so the
+                // schedule of draws — and hence every run — is identical
+                // however the runs are distributed over workers.
                 let mut top_rng = StdRng::seed_from_u64(cfg.seed);
-                for e in 0..cfg.executions {
-                    let seed_e = cfg.seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(e as u64 + 1));
-                    let target = if est > 0 {
-                        let t = top_rng.gen_range(0..=est);
-                        (t < est).then_some((0usize, t))
-                    } else {
-                        None
-                    };
-                    let run = Self::run_single(
-                        program,
-                        SchedPolicy::RandomChoice,
-                        PersistencePolicy::Random,
-                        seed_e,
-                        target,
-                        sink_factory(),
-                    );
+                let specs: Vec<RunSpec> = (0..cfg.executions)
+                    .map(|e| {
+                        let seed_e = cfg
+                            .seed
+                            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(e as u64 + 1));
+                        let target = if est > 0 {
+                            let t = top_rng.gen_range(0..=est);
+                            (t < est).then_some((0usize, t))
+                        } else {
+                            None
+                        };
+                        RunSpec {
+                            policy: SchedPolicy::RandomChoice,
+                            persistence: PersistencePolicy::Random,
+                            seed: seed_e,
+                            crash_target: target,
+                        }
+                    })
+                    .collect();
+                for run in Self::run_specs(program, specs, sink_factory, workers) {
                     executions += 1;
-                    merge(&mut all_reports, run.reports);
+                    races.merge(run.reports);
                     all_panics.extend(run.panics);
                 }
             }
         }
 
         RunReport::new(
-            all_reports,
+            races.into_sorted(),
             executions,
             crash_points,
             all_panics,
@@ -202,52 +318,69 @@ impl Engine {
     }
 
     /// Exhaustively explores thread interleavings: runs `program` once per
-    /// distinct schedule (depth-first over branch points where more than
+    /// distinct schedule (breadth-first over branch points where more than
     /// one task is runnable), bounded by `max_runs`. An extension beyond
     /// the paper's Yashme, which notes it "does not exhaustively explore
     /// the space of schedules" (§6).
     ///
     /// Returns the de-duplicated reports and the number of schedules run.
+    /// Worker-pool sizing comes from `YASHME_WORKERS`; see
+    /// [`Engine::explore_schedules_with`].
     pub fn explore_schedules(
         program: &Program,
         crash_target: Option<(usize, usize)>,
         sink_factory: SinkFactory<'_>,
         max_runs: usize,
     ) -> (Vec<RaceReport>, usize) {
+        Self::explore_schedules_with(
+            program,
+            crash_target,
+            sink_factory,
+            max_runs,
+            &EngineConfig::from_env(),
+        )
+    }
+
+    /// [`Engine::explore_schedules`] with explicit engine configuration.
+    ///
+    /// The frontier is explored in waves of up to `workers` schedules; the
+    /// schedules run, their reports merge, and their branch alternatives
+    /// enqueue in exactly the order the sequential breadth-first search
+    /// uses, so results are identical for every worker count.
+    pub fn explore_schedules_with(
+        program: &Program,
+        crash_target: Option<(usize, usize)>,
+        sink_factory: SinkFactory<'_>,
+        max_runs: usize,
+        config: &EngineConfig,
+    ) -> (Vec<RaceReport>, usize) {
+        let workers = config.resolved_workers();
         // Breadth-first over branch points: alternatives at *early* branch
         // points diverge most, so they are explored first under a bound.
         let mut pending: std::collections::VecDeque<Vec<usize>> =
             std::collections::VecDeque::from([Vec::new()]);
-        let mut reports: Vec<RaceReport> = Vec::new();
+        let mut races = ReportSet::default();
         let mut runs = 0usize;
-        while let Some(script) = pending.pop_front() {
-            if runs >= max_runs {
-                break;
-            }
-            runs += 1;
-            let prefix_len = script.len();
-            let (run, log) = Self::run_inner(
-                program,
-                SchedPolicy::Scripted,
-                PersistencePolicy::FullCache,
-                0,
-                crash_target,
-                sink_factory(),
-                script,
-            );
-            merge(&mut reports, run.reports);
-            // Branch: every not-yet-tried alternative at or past the forced
-            // prefix spawns a new script.
-            for i in prefix_len..log.len() {
-                let (chosen, n) = log[i];
-                for alt in chosen + 1..n {
-                    let mut next: Vec<usize> = log[..i].iter().map(|&(c, _)| c).collect();
-                    next.push(alt);
-                    pending.push_back(next);
+        while runs < max_runs && !pending.is_empty() {
+            let wave_len = pending.len().min(workers).min(max_runs - runs);
+            let wave: Vec<Vec<usize>> = pending.drain(..wave_len).collect();
+            let results = Self::run_scripts(program, &wave, crash_target, sink_factory, workers);
+            for (script, (run, log)) in wave.iter().zip(results) {
+                runs += 1;
+                races.merge(run.reports);
+                // Branch: every not-yet-tried alternative at or past the
+                // forced prefix spawns a new script.
+                for i in script.len()..log.len() {
+                    let (chosen, n) = log[i];
+                    for alt in chosen + 1..n {
+                        let mut next: Vec<usize> = log[..i].iter().map(|&(c, _)| c).collect();
+                        next.push(alt);
+                        pending.push_back(next);
+                    }
                 }
             }
         }
-        (reports, runs)
+        (races.into_sorted(), runs)
     }
 
     /// Runs every phase of `program` once with the given scheduling policy,
@@ -260,7 +393,110 @@ impl Engine {
         crash_target: Option<(usize, usize)>,
         sink: Box<dyn EventSink>,
     ) -> SingleRun {
-        Self::run_inner(program, policy, persistence, seed, crash_target, sink, Vec::new()).0
+        Self::run_inner(
+            program,
+            policy,
+            persistence,
+            seed,
+            crash_target,
+            sink,
+            Vec::new(),
+        )
+        .0
+    }
+
+    /// [`Engine::run_single`] over a [`RunSpec`].
+    fn run_spec(program: &Program, spec: RunSpec, sink: Box<dyn EventSink>) -> SingleRun {
+        Self::run_single(
+            program,
+            spec.policy,
+            spec.persistence,
+            spec.seed,
+            spec.crash_target,
+            sink,
+        )
+    }
+
+    /// Runs every spec, returning outcomes in spec order. With more than
+    /// one worker the specs fan out over a bounded pool fed by a shared
+    /// work queue; each worker builds a private sink per run, so runs
+    /// never share mutable state.
+    fn run_specs(
+        program: &Program,
+        specs: Vec<RunSpec>,
+        sink_factory: SinkFactory<'_>,
+        workers: usize,
+    ) -> Vec<SingleRun> {
+        Self::fan_out(specs, workers, |spec| {
+            Self::run_spec(program, spec, sink_factory())
+        })
+    }
+
+    /// Runs every script (resuming from `crash_target`), returning
+    /// `(outcome, branch-choice log)` pairs in script order.
+    fn run_scripts(
+        program: &Program,
+        scripts: &[Vec<usize>],
+        crash_target: Option<(usize, usize)>,
+        sink_factory: SinkFactory<'_>,
+        workers: usize,
+    ) -> Vec<(SingleRun, Vec<(usize, usize)>)> {
+        Self::fan_out(scripts.to_vec(), workers, |script| {
+            Self::run_inner(
+                program,
+                SchedPolicy::Scripted,
+                PersistencePolicy::FullCache,
+                0,
+                crash_target,
+                sink_factory(),
+                script,
+            )
+        })
+    }
+
+    /// The worker pool: applies `job` to every item, returning results in
+    /// item order. Sequential when `workers <= 1` or there is at most one
+    /// item; otherwise `min(workers, items)` scoped threads drain an MPMC
+    /// work queue.
+    fn fan_out<T, R, F>(items: Vec<T>, workers: usize, job: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        if workers <= 1 || items.len() <= 1 {
+            return items.into_iter().map(job).collect();
+        }
+        let pool = workers.min(items.len());
+        let mut slots: Vec<Option<R>> = Vec::new();
+        slots.resize_with(items.len(), || None);
+        let slots = Mutex::new(slots);
+        let (tx, rx) = crossbeam::channel::unbounded();
+        for indexed in items.into_iter().enumerate() {
+            if tx.send(indexed).is_err() {
+                unreachable!("queue open while filling");
+            }
+        }
+        drop(tx);
+        std::thread::scope(|scope| {
+            for _ in 0..pool {
+                let rx = rx.clone();
+                let slots = &slots;
+                let job = &job;
+                scope.spawn(move || {
+                    while let Ok((index, item)) = rx.recv() {
+                        let result = job(item);
+                        slots.lock().expect("result slots")[index] = Some(result);
+                    }
+                });
+            }
+        });
+        slots
+            .into_inner()
+            .expect("result slots")
+            .into_iter()
+            .map(|slot| slot.expect("worker filled every slot"))
+            .collect()
     }
 
     /// [`Engine::run_single`] plus schedule scripting: returns the branch
@@ -322,18 +558,6 @@ impl Engine {
                 std::mem::take(&mut core.sched.choice_log),
             )
         })
-    }
-}
-
-/// Merges `new` into `acc`, de-duplicating by `(kind, label)`.
-fn merge(acc: &mut Vec<RaceReport>, new: Vec<RaceReport>) {
-    for r in new {
-        if !acc
-            .iter()
-            .any(|e| e.kind() == r.kind() && e.label() == r.label())
-        {
-            acc.push(r);
-        }
     }
 }
 

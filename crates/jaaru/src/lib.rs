@@ -53,7 +53,9 @@ mod sched;
 mod sink;
 
 pub use ctx::{Ctx, JoinHandle};
-pub use engine::{Engine, ExecMode, ModelCheckConfig, RandomConfig, SingleRun, SinkFactory};
+pub use engine::{
+    Engine, EngineConfig, ExecMode, ModelCheckConfig, RandomConfig, SingleRun, SinkFactory,
+};
 pub use event::{EventId, ExecId, FlushEvent, FlushKind, Label, LoadInfo, StoreEvent};
 pub use mem::{ExecState, ExecStats, LoadOutcome, MemState, PersistencePolicy, ROOT_REGION_BYTES};
 pub use program::{PhaseFn, Program};

@@ -231,7 +231,15 @@ impl MemState {
     ) {
         let chunks = self.compiler.lower_store(addr, bytes, atomicity);
         for chunk in chunks {
-            self.push_store_chunks(sink, thread, chunk.addr, &chunk.bytes, atomicity, chunk.invented, label);
+            self.push_store_chunks(
+                sink,
+                thread,
+                chunk.addr,
+                &chunk.bytes,
+                atomicity,
+                chunk.invented,
+                label,
+            );
         }
     }
 
@@ -284,6 +292,7 @@ impl MemState {
 
     /// Pushes one lowered chunk, splitting it at cache-line boundaries so
     /// each store event lies on a single line.
+    #[allow(clippy::too_many_arguments)]
     fn push_store_chunks(
         &mut self,
         sink: &mut dyn EventSink,
@@ -441,12 +450,7 @@ impl MemState {
             SbEntry::Clflush { addr, id } => {
                 let seq = self.fresh_seq();
                 let line = addr.cache_line();
-                let committed = self
-                    .cur
-                    .line_order
-                    .get(&line)
-                    .map(Vec::len)
-                    .unwrap_or(0);
+                let committed = self.cur.line_order.get(&line).map(Vec::len).unwrap_or(0);
                 let floor = self.cur.persisted_upto.entry(line).or_insert(0);
                 *floor = (*floor).max(committed);
                 let flush = self.flushes.get_mut(&id).expect("flush event exists");
@@ -457,21 +461,13 @@ impl MemState {
             }
             SbEntry::Clwb { addr, id } => {
                 let line = addr.cache_line();
-                let committed = self
-                    .cur
-                    .line_order
-                    .get(&line)
-                    .map(Vec::len)
-                    .unwrap_or(0);
+                let committed = self.cur.line_order.get(&line).map(Vec::len).unwrap_or(0);
                 self.clwb_marks.insert(id, committed);
                 self.fbs[thread.as_usize()].push(FbEntry { addr, id });
             }
             SbEntry::Sfence { id } => {
                 let _seq = self.fresh_seq();
-                let fence_cv = self
-                    .fence_cvs
-                    .remove(&id)
-                    .expect("sfence exec CV recorded");
+                let fence_cv = self.fence_cvs.remove(&id).expect("sfence exec CV recorded");
                 self.fence_fb(sink, thread, &fence_cv);
             }
         }
@@ -918,7 +914,14 @@ mod tests {
         let t = m.register_thread(None);
         // 8-byte store 4 bytes before a line boundary.
         let a = Addr(0x1000 + 60);
-        m.exec_store(&mut sink, t, a, &0xffff_ffff_ffff_ffffu64.to_le_bytes(), Atomicity::Plain, "x");
+        m.exec_store(
+            &mut sink,
+            t,
+            a,
+            &0xffff_ffff_ffff_ffffu64.to_le_bytes(),
+            Atomicity::Plain,
+            "x",
+        );
         assert_eq!(m.sb_len(t), 2, "split at the line boundary");
     }
 
@@ -928,8 +931,22 @@ mod tests {
         let mut sink = NullSink;
         let t = m.register_thread(None);
         let a = Addr(0x1000);
-        m.exec_store(&mut sink, t, a, &1u64.to_le_bytes(), Atomicity::Plain, "first");
-        m.exec_store(&mut sink, t, a, &2u64.to_le_bytes(), Atomicity::Plain, "second");
+        m.exec_store(
+            &mut sink,
+            t,
+            a,
+            &1u64.to_le_bytes(),
+            Atomicity::Plain,
+            "first",
+        );
+        m.exec_store(
+            &mut sink,
+            t,
+            a,
+            &2u64.to_le_bytes(),
+            Atomicity::Plain,
+            "second",
+        );
         m.drain_sb(&mut sink, t);
         m.crash(PersistencePolicy::FullCache, &mut rng());
         let t2 = m.register_thread(None);

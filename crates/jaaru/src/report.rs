@@ -8,8 +8,9 @@ use vclock::ThreadId;
 
 use crate::event::{ExecId, Label};
 
-/// The kind of a detector report.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// The kind of a detector report. Ordered so aggregated reports can be
+/// sorted deterministically by `(kind, label)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum ReportKind {
     /// A persistency race per Definition 5.1 / Theorem 1.
     PersistencyRace,
@@ -144,7 +145,8 @@ impl RunReport {
         }
     }
 
-    /// All reports, de-duplicated by `(kind, label)` in first-seen order.
+    /// All reports, de-duplicated and sorted by `(kind, label)` — a
+    /// deterministic order independent of engine worker count.
     pub fn races(&self) -> &[RaceReport] {
         &self.races
     }

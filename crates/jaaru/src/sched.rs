@@ -235,12 +235,14 @@ impl Shared {
     /// Buffer evictions at a scheduling point.
     fn do_evictions(core: &mut Core) {
         let Core {
-            mem, sink, sched, rng, ..
+            mem,
+            sink,
+            sched,
+            rng,
+            ..
         } = core;
         match sched.policy {
-            SchedPolicy::Deterministic | SchedPolicy::Scripted => {
-                mem.drain_all_sbs(sink.as_mut())
-            }
+            SchedPolicy::Deterministic | SchedPolicy::Scripted => mem.drain_all_sbs(sink.as_mut()),
             SchedPolicy::RandomChoice => {
                 for t in mem.threads_with_buffered_stores() {
                     // Evict a random number of entries, choosing among the

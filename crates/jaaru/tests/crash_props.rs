@@ -55,7 +55,14 @@ fn build_program(ops: Vec<Op>, out: Arc<Mutex<Vec<u64>>>) -> Program {
 fn run(ops: &[Op], policy: PersistencePolicy, sched: SchedPolicy, seed: u64) -> Vec<u64> {
     let out = Arc::new(Mutex::new(Vec::new()));
     let program = build_program(ops.to_vec(), out.clone());
-    Engine::run_single(&program, sched, policy, seed, None, Box::new(jaaru::NullSink));
+    Engine::run_single(
+        &program,
+        sched,
+        policy,
+        seed,
+        None,
+        Box::new(jaaru::NullSink),
+    );
     let v = out.lock().unwrap().clone();
     v
 }

@@ -4,15 +4,9 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use jaaru::{
-    Atomicity, Ctx, Engine, PersistencePolicy, Program, SchedPolicy, SingleRun,
-};
-use pmem::Addr;
+use jaaru::{Atomicity, Ctx, Engine, PersistencePolicy, Program, SchedPolicy, SingleRun};
 
-fn run_mc(
-    program: &Program,
-    target: Option<(usize, usize)>,
-) -> SingleRun {
+fn run_mc(program: &Program, target: Option<(usize, usize)>) -> SingleRun {
     Engine::run_single(
         program,
         SchedPolicy::Deterministic,
@@ -120,7 +114,10 @@ fn spawned_threads_interleave_and_join() {
         let t1 = t.clone();
         let h = ctx.spawn(move |ctx2: &mut Ctx| {
             ctx2.store_u64(b, 5, Atomicity::Plain, "b");
-            t1.fetch_add(ctx2.load_u64(b, Atomicity::Plain) as usize, Ordering::SeqCst);
+            t1.fetch_add(
+                ctx2.load_u64(b, Atomicity::Plain) as usize,
+                Ordering::SeqCst,
+            );
         });
         ctx.store_u64(a, 3, Atomicity::Plain, "a");
         ctx.join(h);
@@ -249,7 +246,11 @@ fn multi_phase_program_stacks_executions() {
             s.store(ctx.load_u64(a, Atomicity::Plain) as usize, Ordering::SeqCst);
         });
     run_mc(&program, None);
-    assert_eq!(seen.load(Ordering::SeqCst), 2, "value incremented across two crashes");
+    assert_eq!(
+        seen.load(Ordering::SeqCst),
+        2,
+        "value incremented across two crashes"
+    );
 }
 
 #[test]
@@ -307,7 +308,10 @@ fn fetch_add_is_atomic_across_threads() {
         for h in handles {
             ctx.join(h);
         }
-        t.store(ctx.load_u64(counter, Atomicity::Plain) as usize, Ordering::SeqCst);
+        t.store(
+            ctx.load_u64(counter, Atomicity::Plain) as usize,
+            Ordering::SeqCst,
+        );
     });
     // Random schedules: increments must never be lost.
     for seed in 0..8 {

@@ -33,10 +33,9 @@ fn enumerates_all_store_buffering_outcomes() {
         });
         ctx.join(h1);
         ctx.join(h2);
-        o.lock().unwrap().insert((
-            r1.load(Ordering::SeqCst),
-            r2.load(Ordering::SeqCst),
-        ));
+        o.lock()
+            .unwrap()
+            .insert((r1.load(Ordering::SeqCst), r2.load(Ordering::SeqCst)));
     });
     let (_, runs) = Engine::explore_schedules(&program, None, &|| Box::new(jaaru::NullSink), 500);
     let found = outcomes.lock().unwrap().clone();
@@ -124,5 +123,8 @@ fn exploration_detects_schedule_dependent_races() {
     let sink_factory = move || Box::new(count.clone()) as Box<dyn jaaru::EventSink>;
     let (_, runs) = Engine::explore_schedules(&program, None, &sink_factory, 10);
     assert_eq!(runs, 1);
-    assert!(total.load(std::sync::atomic::Ordering::SeqCst) > 0, "cross-execution read seen");
+    assert!(
+        total.load(std::sync::atomic::Ordering::SeqCst) > 0,
+        "cross-execution read seen"
+    );
 }

@@ -26,7 +26,11 @@ fn tee_runs_detector_and_tracer_together() {
         Box::new(TeeSink::new(YashmeDetector::with_defaults(), tracer)),
     );
     // Detector reports flow through the tee.
-    assert!(run.reports.iter().any(|r| r.label() == "x"), "{:?}", run.reports);
+    assert!(
+        run.reports.iter().any(|r| r.label() == "x"),
+        "{:?}",
+        run.reports
+    );
     // The tracer recorded the structure of the run.
     let lines = lines.lock().unwrap();
     assert!(lines.iter().any(|l| l.contains("=== execution 0 ===")));

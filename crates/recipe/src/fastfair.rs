@@ -222,7 +222,7 @@ impl FastFair {
         };
         let cnt = Self::count(ctx, leaf);
         let sc = ctx.load_u32(leaf + OFF_SWITCH_COUNTER, Atomicity::Plain);
-        if sc % 2 == 0 {
+        if sc.is_multiple_of(2) {
             ctx.store_u32(leaf + OFF_SWITCH_COUNTER, sc + 1, Atomicity::Plain, L_SWITCH_COUNTER);
         }
         for i in 0..cnt {

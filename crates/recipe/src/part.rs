@@ -310,18 +310,19 @@ pub const EXPECTED_RACES: &[&str] = &[
 /// become 2 introduced `memcpy`s alongside 3 explicit copies.
 pub fn source_profile() -> SourceProfile {
     use SourceUnit::*;
-    let mut regions: Vec<Vec<SourceUnit>> = Vec::new();
-    // Constructor bodies: adjacent memsets that merge (5 + 5 + 4 = 14 src).
-    regions.push(vec![ExplicitMemset { words: 2 }; 5]);
-    regions.push(vec![ExplicitMemset { words: 2 }; 5]);
-    regions.push(vec![ExplicitMemset { words: 2 }; 4]);
-    // Three explicit copies in distinct functions.
-    regions.push(vec![ExplicitMemcpy { words: 4 }]);
-    regions.push(vec![ExplicitMemcpy { words: 4 }]);
-    regions.push(vec![ExplicitMemcpy { words: 2 }]);
-    // Two assignment runs clang turns into memcpy.
-    regions.push(vec![AssignRun { words: 4 }]);
-    regions.push(vec![AssignRun { words: 4 }]);
+    let regions: Vec<Vec<SourceUnit>> = vec![
+        // Constructor bodies: adjacent memsets that merge (5 + 5 + 4 = 14 src).
+        vec![ExplicitMemset { words: 2 }; 5],
+        vec![ExplicitMemset { words: 2 }; 5],
+        vec![ExplicitMemset { words: 2 }; 4],
+        // Three explicit copies in distinct functions.
+        vec![ExplicitMemcpy { words: 4 }],
+        vec![ExplicitMemcpy { words: 4 }],
+        vec![ExplicitMemcpy { words: 2 }],
+        // Two assignment runs clang turns into memcpy.
+        vec![AssignRun { words: 4 }],
+        vec![AssignRun { words: 4 }],
+    ];
     SourceProfile::new("P-ART", regions)
 }
 

@@ -67,8 +67,14 @@ impl Pclht {
         Some(Pclht { buckets })
     }
 
+    /// The bucket index `key` hashes to (exposed so capacity-aware tests
+    /// can mirror the table's placement).
+    pub fn bucket_index(key: u64) -> u64 {
+        hash64(key) % NUM_BUCKETS
+    }
+
     fn bucket_of(&self, key: u64) -> Addr {
-        self.buckets + (hash64(key) % NUM_BUCKETS) * 64
+        self.buckets + Self::bucket_index(key) * 64
     }
 
     /// Inserts `key → value` with volatile (relaxed-atomic) stores: value
@@ -81,6 +87,26 @@ impl Pclht {
             if k == 0 || k == key {
                 ctx.store_u64(bucket + OFF_VALUES + e * 8, value, Atomicity::Relaxed, "bucket.val");
                 ctx.store_u64(bucket + OFF_KEYS + e * 8, key, Atomicity::ReleaseAcquire, "bucket.key");
+                flush_range(ctx, bucket, BUCKET_BYTES);
+                ctx.sfence();
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Removes `key` by storing the empty marker over its key slot with a
+    /// volatile (release-atomic) store, then flushing — the same
+    /// tear-proof discipline as [`Pclht::put`]. The value slot is left
+    /// stale; an unpublished key makes it unreachable, and a later insert
+    /// into the slot overwrites the value before re-publishing the key.
+    pub fn remove(&self, ctx: &mut Ctx, key: u64) -> bool {
+        assert!(key != 0, "key 0 is the empty marker");
+        let bucket = self.bucket_of(key);
+        for e in 0..ENTRIES_PER_BUCKET {
+            let k = ctx.load_u64(bucket + OFF_KEYS + e * 8, Atomicity::Relaxed);
+            if k == key {
+                ctx.store_u64(bucket + OFF_KEYS + e * 8, 0, Atomicity::ReleaseAcquire, "bucket.key");
                 flush_range(ctx, bucket, BUCKET_BYTES);
                 ctx.sfence();
                 return true;
@@ -168,6 +194,21 @@ mod tests {
         });
         Engine::run_plain(&program, 2);
         assert_eq!(sum.load(Ordering::SeqCst), 11 + 22 + 33 + 44 + 55);
+    }
+
+    #[test]
+    fn remove_unpublishes_and_frees_slot() {
+        let program = Program::new("t").pre_crash(|ctx: &mut Ctx| {
+            let t = Pclht::create(ctx);
+            assert!(t.put(ctx, 3, 1));
+            assert!(t.remove(ctx, 3));
+            assert_eq!(t.get(ctx, 3), None);
+            assert!(!t.remove(ctx, 3), "second remove finds nothing");
+            // The freed slot is reusable and serves fresh values.
+            assert!(t.put(ctx, 3, 9));
+            assert_eq!(t.get(ctx, 3), Some(9));
+        });
+        Engine::run_plain(&program, 2);
     }
 
     #[test]

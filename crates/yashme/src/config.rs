@@ -37,6 +37,9 @@ pub struct YashmeConfig {
     pub suppressed_labels: &'static [&'static str],
 }
 
+// Referenced from the `#[serde(default = ...)]` attribute; the offline
+// serde stub's no-op derive does not expand it, hence the allow.
+#[allow(dead_code)]
 fn empty_labels() -> &'static [&'static str] {
     &[]
 }

@@ -1,10 +1,8 @@
 //! The persistency-race detection algorithm (§6, Figures 8 and 9).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
-use jaaru::{
-    EventId, EventSink, ExecId, FlushEvent, LoadInfo, RaceReport, ReportKind, StoreEvent,
-};
+use jaaru::{EventId, EventSink, ExecId, FlushEvent, LoadInfo, RaceReport, ReportKind, StoreEvent};
 use pmem::CacheLineId;
 use vclock::{Clock, ThreadId, VectorClock};
 
@@ -19,8 +17,14 @@ struct FlushRecord {
     clock: Clock,
 }
 
+/// Typical number of distinct stores a run's `flushmap` tracks; sizing the
+/// map up front keeps the hot `record_flush` path from rehashing.
+const FLUSHMAP_CAPACITY: usize = 64;
+/// Typical number of distinct cache lines in `lastflush`.
+const LASTFLUSH_CAPACITY: usize = 16;
+
 /// Per-execution detector state: the maps of §6.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct ExecDetState {
     /// `flushmap`: store → flushes that happen-after it. A store with an
     /// *effective* record is persisted; effectiveness depends on the mode
@@ -32,6 +36,16 @@ struct ExecDetState {
     /// `CVpre`: how much of this execution later executions have observed —
     /// the consistent-prefix clock vector (§5.1).
     cv_pre: VectorClock,
+}
+
+impl Default for ExecDetState {
+    fn default() -> Self {
+        ExecDetState {
+            flushmap: HashMap::with_capacity(FLUSHMAP_CAPACITY),
+            lastflush: HashMap::with_capacity(LASTFLUSH_CAPACITY),
+            cv_pre: VectorClock::default(),
+        }
+    }
 }
 
 /// The Yashme persistency-race detector.
@@ -46,8 +60,10 @@ pub struct YashmeDetector {
     config: YashmeConfig,
     states: HashMap<ExecId, ExecDetState>,
     reports: Vec<RaceReport>,
-    /// Labels already reported, to bound report volume per run.
-    reported: Vec<(ReportKind, &'static str)>,
+    /// Labels already reported, to bound report volume per run. Hashed:
+    /// the race check consults this once per candidate store, so a linear
+    /// scan would make report-heavy runs quadratic.
+    reported: HashSet<(ReportKind, &'static str)>,
 }
 
 impl YashmeDetector {
@@ -57,7 +73,7 @@ impl YashmeDetector {
             config,
             states: HashMap::new(),
             reports: Vec::new(),
-            reported: Vec::new(),
+            reported: HashSet::new(),
         }
     }
 
@@ -154,10 +170,9 @@ impl YashmeDetector {
         } else {
             ReportKind::PersistencyRace
         };
-        if self.reported.contains(&(kind, store.label)) {
+        if !self.reported.insert((kind, store.label)) {
             return;
         }
-        self.reported.push((kind, store.label));
         let detail = format!(
             "non-atomic {}-byte store could be torn or invented by the compiler; \
              no consistent prefix of execution {} flushes it before the \
@@ -192,7 +207,7 @@ impl EventSink for YashmeDetector {
             thread: flush.thread,
             clock: flush.clock,
         };
-        self.record_flush(flush.exec, line_stores, &flush.cv.clone(), &flush.cv.clone(), record);
+        self.record_flush(flush.exec, line_stores, &flush.cv, &flush.cv, record);
     }
 
     fn on_clwb_fenced(
@@ -207,7 +222,7 @@ impl EventSink for YashmeDetector {
             thread: clwb.thread,
             clock: fence_cv.get(clwb.thread),
         };
-        self.record_flush(clwb.exec, line_stores, &clwb.cv.clone(), &fence_cv.clone(), record);
+        self.record_flush(clwb.exec, line_stores, &clwb.cv, fence_cv, record);
     }
 
     fn on_pre_exec_read(
@@ -225,17 +240,12 @@ impl EventSink for YashmeDetector {
         // read (Fig. 9's trailing CVpre/lastflush updates).
         for store in chosen {
             let is_atomic_read = load.atomicity.is_acquire() && store.atomicity.is_release();
-            let cv = store.cv.clone();
             let line = store.line();
             let state = self.state(store.exec);
             if is_atomic_read {
-                state
-                    .lastflush
-                    .entry(line)
-                    .or_default()
-                    .join(&cv);
+                state.lastflush.entry(line).or_default().join(&store.cv);
             }
-            state.cv_pre.join(&cv);
+            state.cv_pre.join(&store.cv);
         }
     }
 

@@ -57,7 +57,11 @@
 //!   baseline mode (races detected only when the crash physically landed in
 //!   the store→flush window), the comparison of Table 5.
 //! * [`model_check`], [`random_check`], and [`check`] wrap engine
-//!   construction.
+//!   construction. The `*_with` variants take an [`EngineConfig`] to fan
+//!   crash-point exploration out over a worker pool; the plain variants
+//!   size the pool from the `YASHME_WORKERS` environment variable (unset =
+//!   sequential). The aggregated report is identical for every worker
+//!   count.
 
 mod config;
 mod detector;
@@ -66,19 +70,45 @@ pub mod render;
 pub use config::YashmeConfig;
 pub use detector::YashmeDetector;
 
-pub use jaaru::{RaceReport, ReportKind, RunReport};
+pub use jaaru::{EngineConfig, RaceReport, ReportKind, RunReport};
 
 use jaaru::{Engine, ExecMode, Program};
 
 /// Runs `program` under the given mode with a fresh detector per execution.
+/// Worker-pool sizing comes from `YASHME_WORKERS`; see [`check_with`].
 pub fn check(program: &Program, mode: ExecMode, config: YashmeConfig) -> RunReport {
-    Engine::run(program, mode, &|| Box::new(YashmeDetector::new(config)))
+    check_with(program, mode, config, &EngineConfig::from_env())
+}
+
+/// [`check`] with explicit engine configuration (worker-pool sizing).
+pub fn check_with(
+    program: &Program,
+    mode: ExecMode,
+    config: YashmeConfig,
+    engine: &EngineConfig,
+) -> RunReport {
+    Engine::run_with(
+        program,
+        mode,
+        &|| Box::new(YashmeDetector::new(config)),
+        engine,
+    )
 }
 
 /// Model-checks `program`: a crash is injected before every flush/fence
 /// point of the pre-crash phase (§6), with prefix expansion enabled.
 pub fn model_check(program: &Program) -> RunReport {
     check(program, ExecMode::model_check(), YashmeConfig::default())
+}
+
+/// [`model_check`] with explicit engine configuration.
+pub fn model_check_with(program: &Program, engine: &EngineConfig) -> RunReport {
+    check_with(
+        program,
+        ExecMode::model_check(),
+        YashmeConfig::default(),
+        engine,
+    )
 }
 
 /// Runs `program` in random mode: `executions` runs with random schedules,
@@ -88,5 +118,20 @@ pub fn random_check(program: &Program, executions: usize, seed: u64) -> RunRepor
         program,
         ExecMode::random(executions, seed),
         YashmeConfig::default(),
+    )
+}
+
+/// [`random_check`] with explicit engine configuration.
+pub fn random_check_with(
+    program: &Program,
+    executions: usize,
+    seed: u64,
+    engine: &EngineConfig,
+) -> RunReport {
+    check_with(
+        program,
+        ExecMode::random(executions, seed),
+        YashmeConfig::default(),
+        engine,
     )
 }

@@ -33,9 +33,17 @@ const ATOMIC_LABELS: [&str; SLOTS] = [
 
 #[derive(Debug, Clone, Copy)]
 enum Op {
-    Store { slot: usize, atomic: bool, value: u64 },
-    Clflush { slot: usize },
-    Clwb { slot: usize },
+    Store {
+        slot: usize,
+        atomic: bool,
+        value: u64,
+    },
+    Clflush {
+        slot: usize,
+    },
+    Clwb {
+        slot: usize,
+    },
     Sfence,
     Mfence,
 }
@@ -59,7 +67,11 @@ fn build(ops: Vec<Op>) -> Program {
         .pre_crash(move |ctx: &mut Ctx| {
             for op in &ops {
                 match *op {
-                    Op::Store { slot, atomic, value } => {
+                    Op::Store {
+                        slot,
+                        atomic,
+                        value,
+                    } => {
                         // Spread slots across cache lines (slot * 64).
                         let addr = ctx.root_slot(slot as u64 * 8);
                         if atomic {

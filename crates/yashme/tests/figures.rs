@@ -5,7 +5,11 @@ use jaaru::{Atomicity, Ctx, Engine, ExecMode, PersistencePolicy, Program, SchedP
 use yashme::{YashmeConfig, YashmeDetector};
 
 /// Runs a single execution with a crash injected at `point` of phase 0.
-fn single_with_crash_at(program: &Program, point: usize, config: YashmeConfig) -> Vec<&'static str> {
+fn single_with_crash_at(
+    program: &Program,
+    point: usize,
+    config: YashmeConfig,
+) -> Vec<&'static str> {
     let run = Engine::run_single(
         program,
         SchedPolicy::Deterministic,
@@ -49,8 +53,14 @@ fn figure1_crash_in_window_detected_by_both_modes() {
     // Crash injected before the clflush: the classic window. Both baseline
     // and prefix detect it (the flush never committed).
     let p = figure1_program();
-    assert_eq!(single_with_crash_at(&p, 0, YashmeConfig::baseline()), vec!["pmobj->val"]);
-    assert_eq!(single_with_crash_at(&p, 0, YashmeConfig::default()), vec!["pmobj->val"]);
+    assert_eq!(
+        single_with_crash_at(&p, 0, YashmeConfig::baseline()),
+        vec!["pmobj->val"]
+    );
+    assert_eq!(
+        single_with_crash_at(&p, 0, YashmeConfig::default()),
+        vec!["pmobj->val"]
+    );
 }
 
 #[test]
@@ -60,7 +70,10 @@ fn figure5b_crash_outside_window_needs_prefix_expansion() {
     // post-crash read forces the flush into the consistent prefix.
     let p = figure1_program();
     assert!(single_no_injected_crash(&p, YashmeConfig::baseline()).is_empty());
-    assert_eq!(single_no_injected_crash(&p, YashmeConfig::default()), vec!["pmobj->val"]);
+    assert_eq!(
+        single_no_injected_crash(&p, YashmeConfig::default()),
+        vec!["pmobj->val"]
+    );
 }
 
 #[test]
@@ -223,9 +236,9 @@ fn section42_multithreaded_race_only_prefix_can_find() {
             .pre_crash(|ctx: &mut Ctx| {
                 let z = ctx.root();
                 let f = ctx.root_slot(32); // different line
-                // The two threads are concurrent: thread 2 never
-                // synchronizes with thread 1, so f's clock vector does not
-                // cover the flush of z.
+                                           // The two threads are concurrent: thread 2 never
+                                           // synchronizes with thread 1, so f's clock vector does not
+                                           // cover the flush of z.
                 let h = ctx.spawn(move |t1: &mut Ctx| {
                     t1.store_u64(z, 9, Atomicity::Plain, "z");
                     t1.clflush(z);
@@ -318,11 +331,7 @@ fn invented_store_race_on_byte_field() {
 #[test]
 fn model_check_mode_enumerates_all_crash_points() {
     let program = figure1_program();
-    let report = yashme::check(
-        &program,
-        ExecMode::model_check(),
-        YashmeConfig::default(),
-    );
+    let report = yashme::check(&program, ExecMode::model_check(), YashmeConfig::default());
     // 1 profiling execution + 1 injected-crash execution (one crash point).
     assert_eq!(report.executions(), 2);
     assert_eq!(report.crash_points(), 1);

@@ -30,11 +30,7 @@ fn two_stores() -> Program {
 
 fn main() {
     let default = yashme::model_check(&two_stores());
-    let eadr = yashme::check(
-        &two_stores(),
-        ExecMode::model_check(),
-        YashmeConfig::eadr(),
-    );
+    let eadr = yashme::check(&two_stores(), ExecMode::model_check(), YashmeConfig::eadr());
 
     println!("program: store x; store y; clflush y; sfence — post-crash reads y then x");
     println!();

@@ -35,10 +35,7 @@ fn main() {
         PersistencePolicy::FullCache,
         0,
         None,
-        Box::new(TeeSink::new(
-            YashmeDetector::with_defaults(),
-            tracer,
-        )),
+        Box::new(TeeSink::new(YashmeDetector::with_defaults(), tracer)),
     );
 
     println!("=== execution trace ===");

@@ -1,0 +1,161 @@
+//! Offline stub of `criterion`.
+//!
+//! Supports the API the workspace's benches use — `benchmark_group`,
+//! `sample_size`, `bench_with_input`, `bench_function`, `BenchmarkId`, and
+//! the `criterion_group!`/`criterion_main!` macros — timing each benchmark
+//! with `Instant` and printing mean/min per-iteration wall time. No
+//! statistical analysis, HTML reports, or outlier rejection.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export-compatible `black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and parameter display.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    elapsed: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`, once per sample.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(f());
+            self.elapsed.push(start.elapsed());
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many samples each benchmark records.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.samples = samples.max(1);
+        self
+    }
+
+    fn run(&mut self, id: String, mut body: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            samples: self.samples,
+            elapsed: Vec::with_capacity(self.samples),
+        };
+        body(&mut bencher);
+        let total: Duration = bencher.elapsed.iter().sum();
+        let mean = total
+            .checked_div(bencher.elapsed.len().max(1) as u32)
+            .unwrap_or_default();
+        let min = bencher.elapsed.iter().min().copied().unwrap_or_default();
+        println!(
+            "{}/{}: mean {:?}, min {:?} ({} samples)",
+            self.name,
+            id,
+            mean,
+            min,
+            bencher.elapsed.len()
+        );
+    }
+
+    /// Benchmarks `body` with a fixed `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut body: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.run(id.to_string(), |b| body(b, input));
+        self
+    }
+
+    /// Benchmarks a nullary closure.
+    pub fn bench_function(
+        &mut self,
+        id: impl Display,
+        mut body: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        self.run(id.to_string(), &mut body);
+        self
+    }
+
+    /// Ends the group (printing happened per-benchmark).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion;
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: 10,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a nullary closure outside any group.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        body: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        self.benchmark_group("bench").bench_function(name.into(), body);
+        self
+    }
+}
+
+/// Declares a group-runner function over benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

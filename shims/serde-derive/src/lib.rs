@@ -1,0 +1,16 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline `serde` stub.
+//!
+//! The derives accept (and ignore) `#[serde(...)]` helper attributes so
+//! annotated types keep compiling; no serialization code is generated.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

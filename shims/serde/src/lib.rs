@@ -1,0 +1,17 @@
+//! Offline stub of the `serde` facade.
+//!
+//! The build container has no network access to crates.io, so the workspace
+//! vendors the minimal API surface it uses: the `Serialize`/`Deserialize`
+//! trait names and their derive macros. The derives expand to nothing — the
+//! repo only derives the traits for forward compatibility and never
+//! serializes through them. Swapping back to real serde is a one-line
+//! change in the workspace `Cargo.toml`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize` (never implemented by the no-op
+/// derive; present so `use serde::Serialize` keeps resolving).
+pub trait SerializeTrait {}
+
+/// Marker stand-in for `serde::Deserialize` (see [`SerializeTrait`]).
+pub trait DeserializeTrait<'de> {}

@@ -12,7 +12,7 @@
 use std::process::ExitCode;
 
 use bench::{evaluation_suite, SuiteEntry};
-use jaaru::ExecMode;
+use jaaru::{EngineConfig, ExecMode};
 use yashme::{render, YashmeConfig};
 
 #[derive(Debug)]
@@ -26,6 +26,7 @@ struct Options {
     baseline: bool,
     eadr: bool,
     details: bool,
+    engine: EngineConfig,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,6 +48,7 @@ impl Default for Options {
             baseline: false,
             eadr: false,
             details: false,
+            engine: EngineConfig::from_env(),
         }
     }
 }
@@ -54,7 +56,7 @@ impl Default for Options {
 fn usage() -> &'static str {
     "usage: yashme (--list | --all | --benchmark <NAME>) \
      [--mode model-check|random] [--executions N] [--seed S] \
-     [--baseline] [--eadr] [--details]"
+     [--workers N|auto] [--baseline] [--eadr] [--details]"
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -96,6 +98,18 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .parse()
                     .map_err(|e| format!("bad --seed: {e}"))?
             }
+            "--workers" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--workers needs a count or 'auto'".to_owned())?;
+                opts.engine = if v.eq_ignore_ascii_case("auto") {
+                    EngineConfig::with_workers(0)
+                } else {
+                    EngineConfig::with_workers(
+                        v.parse().map_err(|e| format!("bad --workers: {e}"))?,
+                    )
+                };
+            }
             "--baseline" => opts.baseline = true,
             "--eadr" => opts.eadr = true,
             "--details" => opts.details = true,
@@ -127,7 +141,7 @@ fn run_one(entry: &SuiteEntry, opts: &Options) -> usize {
         (Mode::Auto, bench::SuiteMode::ModelCheck) => ExecMode::model_check(),
         (Mode::Auto, bench::SuiteMode::Random(n)) => ExecMode::random(n, opts.seed),
     };
-    let report = yashme::check(&program, mode, config_of(opts));
+    let report = yashme::check_with(&program, mode, config_of(opts), &opts.engine);
     println!("== {} ==", entry.name);
     print!("{}", render::render_summary(&report));
     let (rows, _) = render::render_race_rows(entry.name, &report, 1);
@@ -201,10 +215,7 @@ fn main() -> ExitCode {
             total += run_one(e, &opts);
         }
     } else if let Some(name) = &opts.benchmark {
-        match suite
-            .iter()
-            .find(|e| e.name.eq_ignore_ascii_case(name))
-        {
+        match suite.iter().find(|e| e.name.eq_ignore_ascii_case(name)) {
             Some(e) => total += run_one(e, &opts),
             None => {
                 eprintln!("unknown benchmark {name:?}; try --list");

@@ -7,9 +7,7 @@ use yashme_repro::prelude::*;
 fn extras_detect_fix_recheck_workflow() {
     // The downstream-user story end to end: the racy draft is flagged ...
     let racy = yashme::model_check(&extras::pskiplist::program(extras::Variant::Racy));
-    assert!(racy
-        .race_labels()
-        .contains(&extras::pskiplist::LINK_LABEL));
+    assert!(racy.race_labels().contains(&extras::pskiplist::LINK_LABEL));
     // ... and the release-store fix silences the detector.
     let fixed = yashme::model_check(&extras::pskiplist::program(extras::Variant::Fixed));
     assert!(fixed.races().is_empty(), "{fixed}");

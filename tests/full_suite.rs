@@ -66,7 +66,7 @@ fn fixing_the_cceh_race_with_atomics_clears_the_report() {
     // The paper's prescribed fix (§7.2): replace the racing non-atomic
     // stores with release stores. Build a fixed CCEH insert inline and
     // verify Yashme reports nothing.
-    use jaaru::{Atomicity, Ctx, Program};
+    use jaaru::{Ctx, Program};
 
     let fixed = Program::new("CCEH-fixed")
         .pre_crash(|ctx: &mut Ctx| {
