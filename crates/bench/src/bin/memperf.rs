@@ -1,0 +1,351 @@
+//! Microbenchmark for the line-granular memory subsystem: replays one
+//! deterministic synthetic event stream through the optimized line-slab
+//! [`MemState`] and through the byte-at-a-time [`RefMemState`] oracle,
+//! reports events/sec for each, and writes `BENCH_memperf.json`.
+//!
+//! Both replays fold every load outcome into a checksum; a mismatch means
+//! the two memory models diverged and the run exits nonzero. The oracle is
+//! the pre-line-granularity design (per-byte provenance maps, per-byte
+//! copy loops, `push_unique` dedup, clock clones on the acquire path), so
+//! the reported speedup is the end-to-end win of the rework.
+//!
+//! Usage: `memperf [--ops N] [--out PATH]` — `--ops` defaults to 200000
+//! simulated operations; `--out` defaults to `BENCH_memperf.json`.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use compiler_model::CompilerConfig;
+use jaaru::refmodel::RefMemState;
+use jaaru::{Atomicity, LoadOutcome, MemState, NullSink, PersistencePolicy};
+use pmem::Addr;
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// The exercised window: 16 cache lines inside the root region, enough
+/// for the per-line structures to hold a realistic working set.
+const WINDOW: u64 = 1024;
+
+/// Worker threads issuing operations round-robin; more than one thread
+/// keeps the vector clocks wide enough that the acquire path's historic
+/// clock clones show up, as they do in the multi-threaded benchmarks.
+const THREADS: usize = 4;
+
+/// One pre-generated operation; the same list is replayed by both models.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Store {
+        t: usize,
+        off: u64,
+        len: u64,
+        seed: u8,
+        release: bool,
+    },
+    Load {
+        t: usize,
+        off: u64,
+        len: u64,
+        acquire: bool,
+    },
+    Clflush {
+        t: usize,
+        off: u64,
+    },
+    Clwb {
+        t: usize,
+        off: u64,
+    },
+    Sfence {
+        t: usize,
+    },
+    Mfence {
+        t: usize,
+    },
+    Cas {
+        t: usize,
+        off: u64,
+        expected: u64,
+        new: u64,
+    },
+    Drain {
+        t: usize,
+    },
+    Crash {
+        seed: u64,
+    },
+}
+
+/// A store-heavy mix with regular loads and flush/fence traffic, shaped
+/// like the paper's data-structure benchmarks (many small stores, loads
+/// spanning whole records, periodic persistence barriers, rare crashes).
+fn generate(ops: usize, seed: u64) -> Vec<Op> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(ops);
+    for n in 0..ops {
+        let t = n % THREADS;
+        let roll = rng.gen_range(0u32..100);
+        let op = if roll < 32 {
+            let len = rng.gen_range(8u64..33);
+            Op::Store {
+                t,
+                off: rng.gen_range(0..WINDOW - len),
+                len,
+                seed: rng.gen_range(0u32..256) as u8,
+                release: rng.gen_bool(0.25),
+            }
+        } else if roll < 72 {
+            let len = rng.gen_range(16u64..65);
+            Op::Load {
+                t,
+                off: rng.gen_range(0..WINDOW - len),
+                len,
+                acquire: rng.gen_bool(0.25),
+            }
+        } else if roll < 80 {
+            Op::Clflush {
+                t,
+                off: rng.gen_range(0..WINDOW),
+            }
+        } else if roll < 85 {
+            Op::Clwb {
+                t,
+                off: rng.gen_range(0..WINDOW),
+            }
+        } else if roll < 90 {
+            Op::Sfence { t }
+        } else if roll < 93 {
+            Op::Mfence { t }
+        } else if roll < 96 {
+            Op::Cas {
+                t,
+                off: rng.gen_range(0..WINDOW / 8) * 8,
+                expected: rng.gen_range(0u64..4),
+                new: rng.gen_range(1u64..100),
+            }
+        } else if roll < 99 {
+            Op::Drain { t }
+        } else {
+            Op::Crash {
+                seed: rng.next_u64(),
+            }
+        };
+        out.push(op);
+    }
+    out
+}
+
+/// FNV-1a over every observable byte and event id of a load outcome, so
+/// the replays stay comparable without storing every result.
+fn fold(sum: &mut u64, outcome: &LoadOutcome) {
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+    for &b in &outcome.bytes {
+        *sum = (*sum ^ u64::from(b)).wrapping_mul(PRIME);
+    }
+    for &id in &outcome.chosen {
+        *sum = (*sum ^ id).wrapping_mul(PRIME);
+    }
+    for &id in &outcome.candidates {
+        *sum = (*sum ^ id).wrapping_mul(PRIME);
+    }
+}
+
+fn store_bytes(len: u64, seed: u8) -> Vec<u8> {
+    (0..len).map(|i| seed.wrapping_add(i as u8)).collect()
+}
+
+fn replay_optimized(ops: &[Op]) -> (u64, Duration) {
+    let mut sink = NullSink;
+    let mut mem = MemState::new(CompilerConfig::default(), 1 << 20);
+    let main = mem.register_thread(None);
+    let mut tids = vec![main];
+    for _ in 1..THREADS {
+        tids.push(mem.register_thread(Some(main)));
+    }
+    let base = Addr::BASE;
+    let mut sum = 0xcbf2_9ce4_8422_2325u64;
+    let start = Instant::now();
+    for op in ops {
+        match *op {
+            Op::Store {
+                t,
+                off,
+                len,
+                seed,
+                release,
+            } => {
+                let bytes = store_bytes(len, seed);
+                let a = if release {
+                    Atomicity::ReleaseAcquire
+                } else {
+                    Atomicity::Plain
+                };
+                mem.exec_store(&mut sink, tids[t], base + off, &bytes, a, "w");
+            }
+            Op::Load {
+                t,
+                off,
+                len,
+                acquire,
+            } => {
+                let a = if acquire {
+                    Atomicity::ReleaseAcquire
+                } else {
+                    Atomicity::Plain
+                };
+                let outcome = mem.exec_load(tids[t], base + off, len, a);
+                fold(&mut sum, &outcome);
+            }
+            Op::Clflush { t, off } => mem.exec_clflush(tids[t], base + off),
+            Op::Clwb { t, off } => mem.exec_clwb(tids[t], base + off),
+            Op::Sfence { t } => mem.exec_sfence(tids[t]),
+            Op::Mfence { t } => mem.exec_mfence(&mut sink, tids[t]),
+            Op::Cas {
+                t,
+                off,
+                expected,
+                new,
+            } => {
+                let (old, ok, outcome) =
+                    mem.exec_cas(&mut sink, tids[t], base + off, expected, new, "cas");
+                sum = (sum ^ old ^ u64::from(ok)).wrapping_mul(0x0000_0100_0000_01B3);
+                fold(&mut sum, &outcome);
+            }
+            Op::Drain { t } => mem.drain_sb(&mut sink, tids[t]),
+            Op::Crash { seed } => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                mem.crash(PersistencePolicy::Random, &mut rng);
+            }
+        }
+    }
+    (sum, start.elapsed())
+}
+
+fn replay_reference(ops: &[Op]) -> (u64, Duration) {
+    let mut mem = RefMemState::new(CompilerConfig::default(), 1 << 20);
+    let main = mem.register_thread(None);
+    let mut tids = vec![main];
+    for _ in 1..THREADS {
+        tids.push(mem.register_thread(Some(main)));
+    }
+    let base = Addr::BASE;
+    let mut sum = 0xcbf2_9ce4_8422_2325u64;
+    let start = Instant::now();
+    for op in ops {
+        match *op {
+            Op::Store {
+                t,
+                off,
+                len,
+                seed,
+                release,
+            } => {
+                let bytes = store_bytes(len, seed);
+                let a = if release {
+                    Atomicity::ReleaseAcquire
+                } else {
+                    Atomicity::Plain
+                };
+                mem.exec_store(tids[t], base + off, &bytes, a, "w");
+            }
+            Op::Load {
+                t,
+                off,
+                len,
+                acquire,
+            } => {
+                let a = if acquire {
+                    Atomicity::ReleaseAcquire
+                } else {
+                    Atomicity::Plain
+                };
+                let outcome = mem.exec_load(tids[t], base + off, len, a);
+                fold(&mut sum, &outcome);
+            }
+            Op::Clflush { t, off } => mem.exec_clflush(tids[t], base + off),
+            Op::Clwb { t, off } => mem.exec_clwb(tids[t], base + off),
+            Op::Sfence { t } => mem.exec_sfence(tids[t]),
+            Op::Mfence { t } => mem.exec_mfence(tids[t]),
+            Op::Cas {
+                t,
+                off,
+                expected,
+                new,
+            } => {
+                let (old, ok, outcome) = mem.exec_cas(tids[t], base + off, expected, new, "cas");
+                sum = (sum ^ old ^ u64::from(ok)).wrapping_mul(0x0000_0100_0000_01B3);
+                fold(&mut sum, &outcome);
+            }
+            Op::Drain { t } => mem.drain_sb(tids[t]),
+            Op::Crash { seed } => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                mem.crash(PersistencePolicy::Random, &mut rng);
+            }
+        }
+    }
+    (sum, start.elapsed())
+}
+
+fn main() {
+    let mut ops = 200_000usize;
+    let mut out = String::from("BENCH_memperf.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--ops" => ops = args.next().and_then(|v| v.parse().ok()).unwrap_or(ops),
+            "--out" => out = args.next().unwrap_or(out),
+            _ => {}
+        }
+    }
+    const SEED: u64 = 0x59a5_311e;
+    let stream = generate(ops, SEED);
+
+    // Warm both paths once so allocator state and caches are comparable,
+    // then take the best of three timed replays per model.
+    let _ = replay_optimized(&stream);
+    let _ = replay_reference(&stream);
+    let mut opt_sum = 0;
+    let mut ref_sum = 0;
+    let mut opt_best = Duration::MAX;
+    let mut ref_best = Duration::MAX;
+    for _ in 0..3 {
+        let (s, d) = replay_optimized(&stream);
+        opt_sum = s;
+        opt_best = opt_best.min(d);
+        let (s, d) = replay_reference(&stream);
+        ref_sum = s;
+        ref_best = ref_best.min(d);
+    }
+
+    let identical = opt_sum == ref_sum;
+    let opt_eps = ops as f64 / opt_best.as_secs_f64().max(1e-9);
+    let ref_eps = ops as f64 / ref_best.as_secs_f64().max(1e-9);
+    let speedup = opt_eps / ref_eps.max(1e-9);
+
+    println!("Memory subsystem microbenchmark: {ops} events, seed {SEED:#x}");
+    println!();
+    println!("{:<24}\tTime\tEvents/sec", "Model");
+    println!(
+        "{:<24}\t{:.3?}\t{:.0}",
+        "byte-at-a-time (ref)", ref_best, ref_eps
+    );
+    println!("{:<24}\t{:.3?}\t{:.0}", "line-granular", opt_best, opt_eps);
+    println!();
+    println!("speedup: {speedup:.2}x, outcomes identical: {identical}");
+
+    // serde is stubbed out in this offline build; render the JSON by hand.
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"ops\": {ops},");
+    let _ = writeln!(json, "  \"seed\": {SEED},");
+    let _ = writeln!(json, "  \"reference_s\": {:.6},", ref_best.as_secs_f64());
+    let _ = writeln!(json, "  \"optimized_s\": {:.6},", opt_best.as_secs_f64());
+    let _ = writeln!(json, "  \"reference_events_per_s\": {ref_eps:.0},");
+    let _ = writeln!(json, "  \"optimized_events_per_s\": {opt_eps:.0},");
+    let _ = writeln!(json, "  \"speedup\": {speedup:.3},");
+    let _ = writeln!(json, "  \"outcomes_identical\": {identical}");
+    json.push_str("}\n");
+    std::fs::write(&out, json).expect("write benchmark json");
+    println!("wrote {out}");
+    if !identical {
+        std::process::exit(1);
+    }
+}

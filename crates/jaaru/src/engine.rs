@@ -211,6 +211,7 @@ impl Engine {
         let mut races = ReportSet::default();
         let mut all_panics: Vec<String> = Vec::new();
         let mut executions = 0usize;
+        let mut stats = crate::mem::ExecStats::default();
         let crash_points;
 
         match mode {
@@ -228,6 +229,7 @@ impl Engine {
                 executions += 1;
                 let phase0_points = profile.points.first().copied().unwrap_or(0);
                 let phase1_points = profile.points.get(1).copied().unwrap_or(0);
+                stats.absorb(&profile.stats);
                 races.merge(profile.reports);
                 all_panics.extend(profile.panics);
 
@@ -246,6 +248,7 @@ impl Engine {
                 }
                 for run in Self::run_specs(program, specs, sink_factory, workers) {
                     executions += 1;
+                    stats.absorb(&run.stats);
                     races.merge(run.reports);
                     all_panics.extend(run.panics);
                 }
@@ -263,6 +266,7 @@ impl Engine {
                     sink_factory(),
                 );
                 crash_points = profile.points.iter().sum();
+                stats.absorb(&profile.stats);
                 let est = profile.points.first().copied().unwrap_or(0);
                 // Seeds and crash targets are drawn up front so the
                 // schedule of draws — and hence every run — is identical
@@ -289,6 +293,7 @@ impl Engine {
                     .collect();
                 for run in Self::run_specs(program, specs, sink_factory, workers) {
                     executions += 1;
+                    stats.absorb(&run.stats);
                     races.merge(run.reports);
                     all_panics.extend(run.panics);
                 }
@@ -301,6 +306,7 @@ impl Engine {
             crash_points,
             all_panics,
             start.elapsed(),
+            stats,
         )
     }
 

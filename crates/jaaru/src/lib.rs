@@ -48,6 +48,7 @@ mod engine;
 mod event;
 mod mem;
 mod program;
+pub mod refmodel;
 mod report;
 mod sched;
 mod sink;

@@ -9,10 +9,10 @@
 //! committed stores (cache coherence guarantees persistence is prefix-closed
 //! per line, §4.1).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use compiler_model::CompilerConfig;
-use pmem::{Addr, CacheLineId, PmAllocator, PmImage};
+use pmem::{Addr, CacheLineId, PmAllocator, PmImage, ProvenanceMap};
 use px86::{Atomicity, FbEntry, FlushBuffer, SbEntry, SbStore, StoreBuffer};
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -50,8 +50,9 @@ pub struct ExecState {
     pub id: ExecId,
     /// Committed (cache) bytes.
     cache: PmImage,
-    /// `storemap`: the most recent committed store covering each byte.
-    store_map: HashMap<Addr, EventId>,
+    /// `storemap`: the most recent committed store covering each byte, kept
+    /// as per-line slabs so a whole line resolves with one lookup.
+    store_map: ProvenanceMap,
     /// Committed stores per line, in cache (seq) order.
     line_order: HashMap<CacheLineId, Vec<EventId>>,
     /// Per line, the length of the `line_order` prefix that is *definitely*
@@ -68,12 +69,53 @@ impl ExecState {
     }
 }
 
+/// Dense store-event table indexed by [`EventId`]. Ids come from the
+/// shared per-run counter (which also numbers flushes and fences) and are
+/// never reused, so a slot-per-id vector turns the hottest lookups — load
+/// segments, acquire joins, candidate scans, commits — into a bounds-checked
+/// array index instead of a hash probe.
+#[derive(Default)]
+struct EventTable {
+    slots: Vec<Option<StoreEvent>>,
+    stores: usize,
+}
+
+impl EventTable {
+    fn insert(&mut self, id: EventId, event: StoreEvent) {
+        let idx = id as usize;
+        if idx >= self.slots.len() {
+            // Ids arrive nearly in order; grow with headroom so the table
+            // doubles rather than reallocating per event.
+            self.slots
+                .resize_with((idx + 1).next_power_of_two(), || None);
+        }
+        self.stores += usize::from(self.slots[idx].is_none());
+        self.slots[idx] = Some(event);
+    }
+
+    fn get(&self, id: EventId) -> &StoreEvent {
+        self.slots[id as usize]
+            .as_ref()
+            .expect("store event exists")
+    }
+
+    fn get_mut(&mut self, id: EventId) -> &mut StoreEvent {
+        self.slots[id as usize]
+            .as_mut()
+            .expect("store event exists")
+    }
+
+    fn len(&self) -> usize {
+        self.stores
+    }
+}
+
 /// The complete simulated memory system for one engine run.
 pub struct MemState {
     /// Compiler model used to lower source-level stores.
     pub compiler: CompilerConfig,
     /// Event table: all store events, across executions.
-    events: HashMap<EventId, StoreEvent>,
+    events: EventTable,
     /// Flush events (clflush/clwb), across executions.
     flushes: HashMap<EventId, FlushEvent>,
     next_event: EventId,
@@ -95,8 +137,11 @@ pub struct MemState {
     pub past: Vec<ExecState>,
     /// Persistent storage contents.
     image: PmImage,
-    /// Provenance: which store event produced each persisted byte.
-    image_prov: HashMap<Addr, EventId>,
+    /// Provenance: which store event produced each persisted byte, kept as
+    /// per-line slabs like [`ExecState::store_map`].
+    image_prov: ProvenanceMap,
+    /// Scratch buffer for store-buffer bypass queries, reused across loads.
+    bypass_scratch: Vec<Option<EventId>>,
     /// The persistent-heap allocator (survives crashes; see crate docs).
     pub alloc: PmAllocator,
     /// Operation counters.
@@ -130,6 +175,32 @@ pub struct ExecStats {
     pub cas_ops: u64,
     /// Crashes (executions pushed on the stack).
     pub crashes: u64,
+    /// Load bytes served by store-buffer bypass.
+    pub bytes_from_bypass: u64,
+    /// Load bytes served by the current execution's cache.
+    pub bytes_from_cache: u64,
+    /// Load bytes served by the persistent image.
+    pub bytes_from_image: u64,
+    /// Prior-execution candidate stores scanned during load resolution.
+    pub candidate_stores_scanned: u64,
+}
+
+impl ExecStats {
+    /// Adds every counter of `other` into `self` (for aggregating the stats
+    /// of many simulated runs).
+    pub fn absorb(&mut self, other: &ExecStats) {
+        self.stores_executed += other.stores_executed;
+        self.stores_committed += other.stores_committed;
+        self.loads += other.loads;
+        self.flushes += other.flushes;
+        self.fences += other.fences;
+        self.cas_ops += other.cas_ops;
+        self.crashes += other.crashes;
+        self.bytes_from_bypass += other.bytes_from_bypass;
+        self.bytes_from_cache += other.bytes_from_cache;
+        self.bytes_from_image += other.bytes_from_image;
+        self.candidate_stores_scanned += other.candidate_stores_scanned;
+    }
 }
 
 /// The outcome of a load: the bytes read plus the cross-execution reads that
@@ -148,7 +219,7 @@ impl MemState {
     pub fn new(compiler: CompilerConfig, heap_bytes: u64) -> Self {
         MemState {
             compiler,
-            events: HashMap::new(),
+            events: EventTable::default(),
             flushes: HashMap::new(),
             next_event: 1,
             next_seq: 1,
@@ -160,7 +231,8 @@ impl MemState {
             cur: ExecState::new(0),
             past: Vec::new(),
             image: PmImage::new(),
-            image_prov: HashMap::new(),
+            image_prov: ProvenanceMap::new(),
+            bypass_scratch: Vec::new(),
             alloc: PmAllocator::new(Addr::BASE + ROOT_REGION_BYTES, heap_bytes),
             stats: ExecStats::default(),
         }
@@ -198,7 +270,7 @@ impl MemState {
 
     /// Looks up a store event.
     pub fn store_event(&self, id: EventId) -> &StoreEvent {
-        &self.events[&id]
+        self.events.get(id)
     }
 
     fn fresh_event_id(&mut self) -> EventId {
@@ -434,18 +506,20 @@ impl MemState {
         match entry {
             SbEntry::Store(s) => {
                 let seq = self.fresh_seq();
-                let event = self.events.get_mut(&s.id).expect("store event exists");
-                event.seq = Some(seq);
+                self.events.get_mut(s.id).seq = Some(seq);
                 let line = s.addr.cache_line();
                 // Write into the cache and update storemap / line order.
-                let bytes = event.bytes.clone();
-                self.cur.cache.write(s.addr, &bytes);
-                for i in 0..s.len {
-                    self.cur.store_map.insert(s.addr + i, s.id);
-                }
-                self.cur.line_order.entry(line).or_default().push(s.id);
-                self.stats.stores_committed += 1;
-                sink.on_store_committed(&self.events[&s.id]);
+                // Disjoint field borrows let the cache copy straight out of
+                // the event table without cloning the bytes.
+                let MemState {
+                    events, cur, stats, ..
+                } = self;
+                let event = events.get(s.id);
+                cur.cache.write(s.addr, &event.bytes);
+                cur.store_map.set_range(s.addr, s.len, s.id);
+                cur.line_order.entry(line).or_default().push(s.id);
+                stats.stores_committed += 1;
+                sink.on_store_committed(event);
             }
             SbEntry::Clflush { addr, id } => {
                 let seq = self.fresh_seq();
@@ -490,12 +564,15 @@ impl MemState {
     // Loads.
     // ------------------------------------------------------------------
 
-    /// Performs a load of `len` bytes at `addr`, resolving each byte through
-    /// (1) the thread's store buffer (TSO bypassing), (2) the current
-    /// execution's cache, and (3) the persistent image left by earlier
-    /// executions. Cross-execution reads are collected into the outcome for
-    /// the caller to report to the sink; acquire synchronization is applied
-    /// here.
+    /// Performs a load of `len` bytes at `addr`, resolving the range as
+    /// maximal byte *segments* served by the same source: (1) the thread's
+    /// store buffer (TSO bypassing), (2) the current execution's cache, and
+    /// (3) the persistent image left by earlier executions. Each touched
+    /// cache line is looked up once in the cache, the storemap, the image,
+    /// and the image provenance; segment bytes are copied with
+    /// `extend_from_slice` rather than per-byte map probes. Cross-execution
+    /// reads are collected into the outcome for the caller to report to the
+    /// sink; acquire synchronization is applied here.
     pub fn exec_load(
         &mut self,
         thread: ThreadId,
@@ -505,39 +582,102 @@ impl MemState {
     ) -> LoadOutcome {
         self.stats.loads += 1;
         self.cvs[thread.as_usize()].tick(thread);
-        let bypass = self.sbs[thread.as_usize()].bypass_bytes(addr, len);
+        let mut bypass = std::mem::take(&mut self.bypass_scratch);
+        self.sbs[thread.as_usize()].bypass_bytes_into(addr, len, &mut bypass);
         let mut bytes = Vec::with_capacity(len as usize);
-        let mut chosen: Vec<EventId> = Vec::new();
-        let mut same_exec_sources: Vec<EventId> = Vec::new();
+        let mut chosen = OrderedIdSet::default();
+        let mut same_exec_sources = OrderedIdSet::default();
         let mut image_lines: Vec<CacheLineId> = Vec::new();
-        for i in 0..len {
-            let at = addr + i;
-            if let Some(id) = bypass[i as usize] {
-                let ev = &self.events[&id];
-                bytes.push(ev.bytes[(at - ev.addr) as usize]);
-                push_unique(&mut same_exec_sources, id);
-            } else if let Some(&id) = self.cur.store_map.get(&at) {
-                bytes.push(self.cur.cache.read_u8(at));
-                push_unique(&mut same_exec_sources, id);
-            } else {
-                bytes.push(self.image.read_u8(at));
-                if let Some(&id) = self.image_prov.get(&at) {
-                    push_unique(&mut chosen, id);
+        let mut off = 0u64;
+        while off < len {
+            // One line-sized chunk: every per-line structure is resolved
+            // with a single lookup here, and the byte walk below touches
+            // only dense slabs.
+            let at = addr + off;
+            let line = at.cache_line();
+            let base = at.line_offset() as usize;
+            let take = ((pmem::CACHE_LINE_SIZE - at.line_offset()).min(len - off)) as usize;
+            let cache_prov = self.cur.store_map.line(line);
+            let cache_data = self.cur.cache.line(line);
+            let img_data = self.image.line(line);
+            let img_prov = self.image_prov.line(line);
+            let chunk_bypass = &bypass[off as usize..off as usize + take];
+            let cached = |k: usize| cache_prov.is_some_and(|p| p[base + k] != 0);
+            let mut touched_image = false;
+            let mut i = 0usize;
+            while i < take {
+                let mut j = i + 1;
+                if let Some(id) = chunk_bypass[i] {
+                    // Bypass segment: consecutive bytes from one buffered
+                    // store, copied straight out of its event bytes.
+                    while j < take && chunk_bypass[j] == Some(id) {
+                        j += 1;
+                    }
+                    let ev = self.events.get(id);
+                    let start = ((at + i as u64) - ev.addr) as usize;
+                    bytes.extend_from_slice(&ev.bytes[start..start + (j - i)]);
+                    same_exec_sources.insert(id);
+                    self.stats.bytes_from_bypass += (j - i) as u64;
+                } else if cached(i) {
+                    // Cache segment: committed bytes of the current
+                    // execution, possibly from several distinct stores.
+                    while j < take && chunk_bypass[j].is_none() && cached(j) {
+                        j += 1;
+                    }
+                    let data = cache_data.expect("committed line has cache bytes");
+                    bytes.extend_from_slice(&data[base + i..base + j]);
+                    let prov = cache_prov.expect("cached() checked the slab");
+                    // Consecutive bytes usually come from one store; only
+                    // id transitions need the dedup structure.
+                    let mut last = 0;
+                    for &id in &prov[base + i..base + j] {
+                        if id != last {
+                            same_exec_sources.insert(id);
+                            last = id;
+                        }
+                    }
+                    self.stats.bytes_from_cache += (j - i) as u64;
+                } else {
+                    // Image segment: bytes persisted by earlier executions
+                    // (zero where never written).
+                    while j < take && chunk_bypass[j].is_none() && !cached(j) {
+                        j += 1;
+                    }
+                    match img_data {
+                        Some(data) => bytes.extend_from_slice(&data[base + i..base + j]),
+                        None => bytes.resize(bytes.len() + (j - i), 0),
+                    }
+                    if let Some(prov) = img_prov {
+                        let mut last = 0;
+                        for &id in &prov[base + i..base + j] {
+                            if id != 0 && id != last {
+                                chosen.insert(id);
+                                last = id;
+                            }
+                        }
+                    }
+                    touched_image = true;
+                    self.stats.bytes_from_image += (j - i) as u64;
                 }
-                push_unique(&mut image_lines, at.cache_line());
+                i = j;
             }
+            if touched_image {
+                image_lines.push(line);
+            }
+            off += take as u64;
         }
-        // Acquire synchronization from release stores actually read.
+        self.bypass_scratch = bypass;
+        // Acquire synchronization from release stores actually read. The
+        // event table and the clock vectors are disjoint fields, so the
+        // joins need no clock clones.
         if atomicity.is_acquire() {
-            let source_cvs: Vec<VectorClock> = same_exec_sources
-                .iter()
-                .chain(chosen.iter())
-                .map(|id| &self.events[id])
-                .filter(|ev| ev.atomicity.is_release())
-                .map(|ev| ev.cv.clone())
-                .collect();
-            for cv in source_cvs {
-                self.cvs[thread.as_usize()].join(&cv);
+            let MemState { events, cvs, .. } = &mut *self;
+            let cv = &mut cvs[thread.as_usize()];
+            for id in same_exec_sources.iter().chain(chosen.iter()) {
+                let ev = events.get(*id);
+                if ev.atomicity.is_release() {
+                    cv.join(&ev.cv);
+                }
             }
         }
         // Candidate stores: everything in the most recent crashed
@@ -552,17 +692,18 @@ impl MemState {
                 };
                 let floor = prev.persisted_upto.get(&line).copied().unwrap_or(0);
                 for &id in &order[floor.min(order.len())..] {
-                    let ev = &self.events[&id];
+                    self.stats.candidate_stores_scanned += 1;
+                    let ev = self.events.get(id);
                     if ranges_overlap(ev.addr, ev.len(), addr, len) {
-                        push_unique(&mut candidates, id);
+                        candidates.insert(id);
                     }
                 }
             }
         }
         LoadOutcome {
             bytes,
-            chosen,
-            candidates,
+            chosen: chosen.into_vec(),
+            candidates: candidates.into_vec(),
         }
     }
 
@@ -609,7 +750,7 @@ impl MemState {
         let fence_cv = self.cvs[thread.as_usize()].clone();
         self.fence_fb(sink, thread, &fence_cv);
         let outcome = self.exec_load(thread, addr, 8, Atomicity::ReleaseAcquire);
-        let old = u64::from_le_bytes(outcome.bytes.clone().try_into().expect("8 bytes"));
+        let old = u64::from_le_bytes(outcome.bytes[..].try_into().expect("8 bytes"));
         let swapped = old == expected;
         if swapped {
             self.push_store_chunks(
@@ -654,12 +795,21 @@ impl MemState {
                 PersistencePolicy::FloorOnly => floor,
                 PersistencePolicy::Random => rng.gen_range(floor..=order.len()),
             };
+            if cut == 0 {
+                continue;
+            }
+            // Materialize the persisted prefix with per-line bulk copies:
+            // the image line and its provenance slab are fetched once, and
+            // each store (single-line by construction) lands with a
+            // `copy_from_slice`/`fill` pair.
+            let img_line = self.image.line_mut(line);
+            let prov_line = self.image_prov.line_mut(line);
             for &id in &order[..cut] {
-                let ev = &self.events[&id];
-                self.image.write(ev.addr, &ev.bytes);
-                for i in 0..ev.len() {
-                    self.image_prov.insert(ev.addr + i, id);
-                }
+                let ev = self.events.get(id);
+                let lo = ev.addr.line_offset() as usize;
+                let hi = lo + ev.bytes.len();
+                img_line[lo..hi].copy_from_slice(&ev.bytes);
+                prov_line[lo..hi].fill(id);
             }
         }
         let next_id = self.cur.id + 1;
@@ -672,31 +822,90 @@ impl MemState {
         &self.image
     }
 
+    /// The store event that produced the persisted byte at `addr`, if any
+    /// (for differential tests and the `memperf` microbenchmark).
+    pub fn image_prov_at(&self, addr: Addr) -> Option<EventId> {
+        self.image_prov.get(addr)
+    }
+
+    /// The most recent committed store covering `addr` in the current
+    /// execution's cache, if any.
+    pub fn store_map_at(&self, addr: Addr) -> Option<EventId> {
+        self.cur.store_map.get(addr)
+    }
+
     /// Number of executions so far (current one included).
     pub fn exec_count(&self) -> usize {
         self.past.len() + 1
     }
 }
 
-/// The most recent committed store for each byte of `line`, de-duplicated.
+/// The most recent committed store for each byte of `line`, de-duplicated in
+/// byte order: one slab lookup, then a dense scan.
 fn line_store_refs<'a>(
-    events: &'a HashMap<EventId, StoreEvent>,
-    store_map: &HashMap<Addr, EventId>,
+    events: &'a EventTable,
+    store_map: &ProvenanceMap,
     line: CacheLineId,
 ) -> Vec<&'a StoreEvent> {
-    let base = line.base();
-    let mut seen: Vec<EventId> = Vec::new();
-    for i in 0..pmem::CACHE_LINE_SIZE {
-        if let Some(&id) = store_map.get(&(base + i)) {
-            push_unique(&mut seen, id);
+    let mut seen = OrderedIdSet::default();
+    if let Some(slab) = store_map.line(line) {
+        for &id in slab.iter() {
+            if id != 0 {
+                seen.insert(id);
+            }
         }
     }
-    seen.iter().map(|id| &events[id]).collect()
+    seen.iter().map(|id| events.get(*id)).collect()
 }
 
-fn push_unique<T: PartialEq + Copy>(v: &mut Vec<T>, item: T) {
-    if !v.contains(&item) {
-        v.push(item);
+/// Above this size, membership checks spill from a linear scan into a hash
+/// set. Most loads see a handful of source stores, so the common case stays
+/// allocation-free beyond the inline vector.
+const LINEAR_DEDUP_MAX: usize = 16;
+
+/// An insertion-ordered set of event ids.
+///
+/// Replaces the old `push_unique` linear probes (O(k²) across k insertions):
+/// small sets dedup by scanning the vector, larger ones by a spilled
+/// [`HashSet`] index, while the vector preserves first-insertion order so
+/// sink reporting stays byte-identical to the byte-at-a-time implementation.
+#[derive(Debug, Clone, Default)]
+struct OrderedIdSet {
+    items: Vec<EventId>,
+    index: Option<HashSet<EventId>>,
+}
+
+impl OrderedIdSet {
+    /// Inserts `id`, returning `true` if it was new.
+    fn insert(&mut self, id: EventId) -> bool {
+        match &mut self.index {
+            Some(index) => {
+                if !index.insert(id) {
+                    return false;
+                }
+                self.items.push(id);
+            }
+            None => {
+                if self.items.contains(&id) {
+                    return false;
+                }
+                self.items.push(id);
+                if self.items.len() > LINEAR_DEDUP_MAX {
+                    self.index = Some(self.items.iter().copied().collect());
+                }
+            }
+        }
+        true
+    }
+
+    /// Iterates in insertion order.
+    fn iter(&self) -> std::slice::Iter<'_, EventId> {
+        self.items.iter()
+    }
+
+    /// The ids in insertion order.
+    fn into_vec(self) -> Vec<EventId> {
+        self.items
     }
 }
 

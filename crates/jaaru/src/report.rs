@@ -7,6 +7,7 @@ use pmem::Addr;
 use vclock::ThreadId;
 
 use crate::event::{ExecId, Label};
+use crate::mem::ExecStats;
 
 /// The kind of a detector report. Ordered so aggregated reports can be
 /// sorted deterministically by `(kind, label)`.
@@ -126,6 +127,7 @@ pub struct RunReport {
     crash_points: usize,
     post_crash_panics: Vec<String>,
     elapsed: Duration,
+    stats: ExecStats,
 }
 
 impl RunReport {
@@ -135,6 +137,7 @@ impl RunReport {
         crash_points: usize,
         post_crash_panics: Vec<String>,
         elapsed: Duration,
+        stats: ExecStats,
     ) -> Self {
         RunReport {
             races,
@@ -142,6 +145,7 @@ impl RunReport {
             crash_points,
             post_crash_panics,
             elapsed,
+            stats,
         }
     }
 
@@ -181,6 +185,13 @@ impl RunReport {
     /// Wall-clock duration of the run.
     pub fn elapsed(&self) -> Duration {
         self.elapsed
+    }
+
+    /// Simulated-operation counters summed over every execution of the run,
+    /// including the load-resolution breakdown (bytes served by bypass /
+    /// cache / image, candidate stores scanned).
+    pub fn stats(&self) -> &ExecStats {
+        &self.stats
     }
 }
 
@@ -229,6 +240,7 @@ mod tests {
             5,
             vec![],
             Duration::from_millis(1),
+            ExecStats::default(),
         );
         assert_eq!(rr.race_labels(), vec!["a", "c"]);
         assert_eq!(rr.races().len(), 3);

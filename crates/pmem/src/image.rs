@@ -35,17 +35,52 @@ impl PmImage {
     }
 
     /// Reads `buf.len()` bytes starting at `addr`.
+    ///
+    /// Resolves whole cache-line runs with one map lookup and a
+    /// `copy_from_slice` each, instead of a per-byte lookup.
     pub fn read(&self, addr: Addr, buf: &mut [u8]) {
-        for (i, byte) in buf.iter_mut().enumerate() {
-            *byte = self.read_u8(addr + i as u64);
+        let mut off = 0usize;
+        while off < buf.len() {
+            let at = addr + off as u64;
+            let line_off = at.line_offset() as usize;
+            let take = (CACHE_LINE_SIZE as usize - line_off).min(buf.len() - off);
+            match self.lines.get(&at.cache_line()) {
+                Some(line) => buf[off..off + take].copy_from_slice(&line[line_off..line_off + take]),
+                None => buf[off..off + take].fill(0),
+            }
+            off += take;
         }
     }
 
     /// Writes the bytes of `data` starting at `addr`.
+    ///
+    /// Like [`PmImage::read`], touches each covered cache line once.
     pub fn write(&mut self, addr: Addr, data: &[u8]) {
-        for (i, &byte) in data.iter().enumerate() {
-            self.write_u8(addr + i as u64, byte);
+        let mut off = 0usize;
+        while off < data.len() {
+            let at = addr + off as u64;
+            let line_off = at.line_offset() as usize;
+            let take = (CACHE_LINE_SIZE as usize - line_off).min(data.len() - off);
+            let line = self
+                .lines
+                .entry(at.cache_line())
+                .or_insert_with(|| Box::new([0u8; CACHE_LINE_SIZE as usize]));
+            line[line_off..line_off + take].copy_from_slice(&data[off..off + take]);
+            off += take;
         }
+    }
+
+    /// Direct read access to one cache line's bytes, if ever written.
+    pub fn line(&self, line: CacheLineId) -> Option<&[u8; CACHE_LINE_SIZE as usize]> {
+        self.lines.get(&line).map(|b| &**b)
+    }
+
+    /// Direct write access to one cache line's bytes, created zero-filled on
+    /// first touch.
+    pub fn line_mut(&mut self, line: CacheLineId) -> &mut [u8; CACHE_LINE_SIZE as usize] {
+        self.lines
+            .entry(line)
+            .or_insert_with(|| Box::new([0u8; CACHE_LINE_SIZE as usize]))
     }
 
     /// Reads one byte.
@@ -156,6 +191,27 @@ mod tests {
         img.write_u32(Addr(0), 0x0403_0201);
         assert_eq!(img.read_u8(Addr(0)), 0x01);
         assert_eq!(img.read_u8(Addr(3)), 0x04);
+    }
+
+    #[test]
+    fn bulk_read_spans_written_and_unwritten_lines() {
+        let mut img = PmImage::new();
+        img.write(Addr(60), &[1, 2, 3, 4, 5, 6, 7, 8]);
+        // Read a range covering the written straddle plus an untouched line.
+        let mut buf = [0xffu8; 80];
+        img.read(Addr(56), &mut buf);
+        assert_eq!(&buf[..4], &[0, 0, 0, 0]);
+        assert_eq!(&buf[4..12], &[1, 2, 3, 4, 5, 6, 7, 8]);
+        assert!(buf[12..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn line_accessors_expose_slabs() {
+        let mut img = PmImage::new();
+        assert!(img.line(CacheLineId(0)).is_none());
+        img.line_mut(CacheLineId(0))[3] = 9;
+        assert_eq!(img.read_u8(Addr(3)), 9);
+        assert_eq!(img.line(CacheLineId(0)).unwrap()[3], 9);
     }
 
     #[test]

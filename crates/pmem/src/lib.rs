@@ -10,6 +10,9 @@
 //!   storage (what survives a crash),
 //! * [`PmAllocator`] — a simple persistent-heap allocator the benchmark data
 //!   structures allocate their nodes from,
+//! * [`ProvenanceMap`] — per-byte store-event provenance kept as per-line
+//!   slabs, so the engine's storemap and image provenance resolve a whole
+//!   cache line with one lookup,
 //! * [`StructLayout`] — a helper for laying out C-style structs in simulated
 //!   PM with natural field alignment, so benchmark ports can mirror the
 //!   field-level layout (and cache-line co-residency) of the original C++
@@ -32,8 +35,10 @@ mod addr;
 mod alloc;
 mod image;
 mod layout;
+mod prov;
 
 pub use addr::{Addr, CacheLineId, CACHE_LINE_SIZE};
 pub use alloc::{AllocError, PmAllocator};
 pub use image::PmImage;
 pub use layout::{Field, StructLayout};
+pub use prov::{ProvId, ProvLine, ProvenanceMap};

@@ -195,18 +195,28 @@ impl StoreBuffer {
     /// Per §2, a core's loads check its own store buffer first and return the
     /// value written by the most recent matching store.
     pub fn bypass_bytes(&self, addr: Addr, len: u64) -> Vec<Option<u64>> {
-        let mut out = vec![None; len as usize];
+        let mut out = Vec::new();
+        self.bypass_bytes_into(addr, len, &mut out);
+        out
+    }
+
+    /// [`StoreBuffer::bypass_bytes`] writing into a caller-provided buffer,
+    /// so a hot load path can reuse one scratch allocation across loads.
+    pub fn bypass_bytes_into(&self, addr: Addr, len: u64, out: &mut Vec<Option<u64>>) {
+        out.clear();
+        out.resize(len as usize, None);
         for entry in &self.entries {
             if let SbEntry::Store(s) = entry {
-                for i in 0..len {
-                    let byte = addr + i;
-                    if byte >= s.addr && byte < s.addr + s.len {
-                        out[i as usize] = Some(s.id);
-                    }
+                // Intersect [addr, addr+len) with the store's byte range.
+                let start = s.addr.raw().max(addr.raw());
+                let end = (s.addr.raw() + s.len).min(addr.raw() + len);
+                if start < end {
+                    let lo = (start - addr.raw()) as usize;
+                    let hi = (end - addr.raw()) as usize;
+                    out[lo..hi].fill(Some(s.id));
                 }
             }
         }
-        out
     }
 
     /// Discards all entries (crash: buffered entries never took effect).

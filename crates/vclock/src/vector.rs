@@ -97,10 +97,12 @@ impl VectorClock {
     /// event stamped `self` happens before (or is) every event whose clock
     /// vector dominates it.
     pub fn leq(&self, other: &VectorClock) -> bool {
-        self.components
+        let shared = self.components.len().min(other.components.len());
+        self.components[..shared]
             .iter()
-            .enumerate()
-            .all(|(i, &c)| c <= other.get(ThreadId::new(i as u32)))
+            .zip(&other.components[..shared])
+            .all(|(&mine, &theirs)| mine <= theirs)
+            && self.components[shared..].iter().all(|&c| c == 0)
     }
 
     /// Strict happens-before: `self <= other` and `self != other`.

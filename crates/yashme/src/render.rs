@@ -63,6 +63,29 @@ pub fn render_summary(report: &RunReport) -> String {
     out
 }
 
+/// Renders the run's operation counters and load-resolution breakdown:
+/// how many load bytes were served by store-buffer bypass, the current
+/// execution's cache, and the persistent image, and how many candidate
+/// stores the load path scanned.
+pub fn render_stats(report: &RunReport) -> String {
+    let s = report.stats();
+    let mut out = String::new();
+    writeln!(
+        out,
+        "ops: {} stores ({} committed), {} loads, {} flushes, {} fences, {} cas, {} crashes",
+        s.stores_executed, s.stores_committed, s.loads, s.flushes, s.fences, s.cas_ops, s.crashes,
+    )
+    .expect("write to string");
+    writeln!(
+        out,
+        "load resolution: {} B from store-buffer bypass, {} B from cache, \
+         {} B from image; {} candidate store(s) scanned",
+        s.bytes_from_bypass, s.bytes_from_cache, s.bytes_from_image, s.candidate_stores_scanned,
+    )
+    .expect("write to string");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -81,6 +104,18 @@ mod tests {
                 let _ = ctx.load_u64(x + 8, Atomicity::Plain);
             });
         crate::model_check(&program)
+    }
+
+    #[test]
+    fn stats_report_load_resolution_sources() {
+        let report = sample_report();
+        let stats = render_stats(&report);
+        assert!(stats.contains("loads"), "{stats}");
+        assert!(stats.contains("from image"), "{stats}");
+        assert!(stats.contains("candidate store(s) scanned"), "{stats}");
+        // The post-crash loads of persisted slots are served by the image.
+        assert!(report.stats().bytes_from_image > 0);
+        assert!(report.stats().loads > 0);
     }
 
     #[test]

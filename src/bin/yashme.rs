@@ -154,6 +154,7 @@ fn run_one(entry: &SuiteEntry, opts: &Options) -> usize {
         for r in report.races() {
             println!("  {}", render::render_detail(entry.name, r));
         }
+        print!("{}", render::render_stats(&report));
     }
     println!();
     report.race_labels().len()
