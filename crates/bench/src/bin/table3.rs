@@ -3,22 +3,32 @@
 //!
 //! `--workers N` (or `YASHME_WORKERS`) fans crash-point exploration out
 //! over a worker pool; the table is identical at every worker count.
+//! `--json` emits the table as a machine-readable document instead.
+
+use jaaru::obs::Json;
 
 fn main() {
     let engine = bench::cli_engine_config();
-    println!("Table 3: races found in CCEH, FAST_FAIR, and RECIPE benchmarks");
-    println!();
-    println!("#\tBenchmark\tRoot Cause of Bug");
+    let as_json = bench::cli_has_flag("--json");
+    if !as_json {
+        println!("Table 3: races found in CCEH, FAST_FAIR, and RECIPE benchmarks");
+        println!();
+        println!("#\tBenchmark\tRoot Cause of Bug");
+    }
     let mut idx = 1;
-    let mut total = 0;
+    let mut rows: Vec<(usize, &str, &str)> = Vec::new();
     for spec in recipe::all_benchmarks() {
         let report = yashme::model_check_with(&(spec.program)(), &engine);
-        let labels = report.race_labels();
-        for label in &labels {
-            println!("{idx}\t{}\t{label}", spec.name);
+        for label in report.race_labels() {
+            if !as_json {
+                println!("{idx}\t{}\t{label}", spec.name);
+            }
+            rows.push((idx, spec.name, label));
             idx += 1;
         }
-        total += labels.len();
+        if as_json {
+            continue;
+        }
         // Figure 11-style detail: per-report store sites.
         for r in report.true_races() {
             eprintln!(
@@ -31,6 +41,16 @@ fn main() {
             );
         }
     }
-    println!();
-    println!("total: {total} races (paper: 19)");
+    let total = rows.len();
+    if as_json {
+        let doc = Json::obj([
+            ("table", Json::from(3u64)),
+            ("rows", bench::race_rows_json(&rows)),
+            ("total", Json::from(total)),
+        ]);
+        println!("{}", doc.render());
+    } else {
+        println!();
+        println!("total: {total} races (paper: 19)");
+    }
 }

@@ -11,6 +11,7 @@ pub mod workload;
 
 use std::time::{Duration, Instant};
 
+use jaaru::obs::Json;
 use jaaru::{Engine, EngineConfig, ExecMode, Program, RaceReport};
 use yashme::{YashmeConfig, YashmeDetector};
 
@@ -98,6 +99,24 @@ pub fn cli_engine_config() -> EngineConfig {
     EngineConfig::from_env()
 }
 
+/// True when the process arguments contain the flag verbatim (e.g.
+/// `cli_has_flag("--json")`).
+pub fn cli_has_flag(flag: &str) -> bool {
+    std::env::args().skip(1).any(|a| a == flag)
+}
+
+/// Renders Table 3/4-style numbered race rows as a JSON array with stable
+/// field order: `{"index": .., "benchmark": .., "label": ..}` per row.
+pub fn race_rows_json(rows: &[(usize, &str, &str)]) -> Json {
+    Json::arr(rows.iter().map(|&(index, benchmark, label)| {
+        Json::obj([
+            ("index", Json::from(index)),
+            ("benchmark", Json::from(benchmark)),
+            ("label", Json::from(label)),
+        ])
+    }))
+}
+
 /// One row of Table 5.
 #[derive(Debug, Clone)]
 pub struct Table5Row {
@@ -173,6 +192,15 @@ pub fn boxed_detector(config: YashmeConfig) -> Box<YashmeDetector> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn race_rows_json_snapshot() {
+        let rows = [(1, "CCEH", "Pair.key"), (2, "CCEH", "Pair.value")];
+        assert_eq!(
+            race_rows_json(&rows).render(),
+            r#"[{"index":1,"benchmark":"CCEH","label":"Pair.key"},{"index":2,"benchmark":"CCEH","label":"Pair.value"}]"#
+        );
+    }
 
     #[test]
     fn suite_has_thirteen_benchmarks_in_table5_order() {

@@ -38,6 +38,40 @@ fn suite_index_benchmarks_are_worker_count_invariant() {
     assert_eq!(checked, 2);
 }
 
+#[test]
+fn trace_and_metrics_are_worker_count_invariant_on_suite() {
+    // The observability layer must obey the same determinism discipline as
+    // the reports: Chrome trace and metrics exports byte-identical at
+    // every worker count, including `auto` (one worker per CPU).
+    let entry = evaluation_suite()
+        .into_iter()
+        .find(|e| e.name == "CCEH")
+        .expect("suite contains CCEH");
+    let run = |workers: usize| {
+        bug_finding_run_with(
+            &entry,
+            &EngineConfig::with_workers(workers).with_trace(true),
+        )
+    };
+    let seq = run(1);
+    let eight = run(8);
+    let auto = run(0);
+    let chrome = |r: &RunReport| jaaru::obs::to_chrome_json(r.trace().expect("traced run"));
+    assert_eq!(chrome(&seq), chrome(&eight), "trace differs at 8 workers");
+    assert_eq!(chrome(&seq), chrome(&auto), "trace differs at auto workers");
+    let metrics = |r: &RunReport| r.metrics().to_json().render();
+    assert_eq!(
+        metrics(&seq),
+        metrics(&eight),
+        "metrics differ at 8 workers"
+    );
+    assert_eq!(
+        metrics(&seq),
+        metrics(&auto),
+        "metrics differ at auto workers"
+    );
+}
+
 /// Acceptance benchmark: 4 workers at least 2x faster than 1 on a suite
 /// index benchmark, with identical reports. Ignored by default because it
 /// needs >= 4 physical CPUs (this repo's CI containers expose one, where

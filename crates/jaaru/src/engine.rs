@@ -20,7 +20,7 @@ use crate::ctx::spawn_task;
 use crate::mem::{MemState, PersistencePolicy};
 use crate::report::{RaceReport, RunReport};
 use crate::sched::{Core, SchedPolicy, Shared};
-use crate::sink::{EventSink, NullSink};
+use crate::sink::{EventSink, NullSink, SpanTraceSink};
 use crate::Program;
 
 /// Configuration of model-checking mode: systematic crash injection before
@@ -84,11 +84,22 @@ pub struct EngineConfig {
     /// just top-level fan-out: at most `workers` OS threads make progress
     /// at any instant no matter how many tasks each simulated run spawns.
     pub workers: usize,
+    /// Record a deterministic span trace of every run (off by default).
+    ///
+    /// When on, each run's sink is wrapped in a
+    /// [`SpanTraceSink`](crate::SpanTraceSink) and the per-run buffers are
+    /// merged — in run order, so the result is identical at every worker
+    /// count — into [`RunReport::trace`](crate::RunReport::trace). When
+    /// off, sinks are used unwrapped and no trace state is allocated.
+    pub trace: bool,
 }
 
 impl Default for EngineConfig {
     fn default() -> Self {
-        EngineConfig { workers: 1 }
+        EngineConfig {
+            workers: 1,
+            trace: false,
+        }
     }
 }
 
@@ -100,7 +111,16 @@ impl EngineConfig {
 
     /// A pool of `workers` threads; `0` selects one per available CPU.
     pub fn with_workers(workers: usize) -> Self {
-        EngineConfig { workers }
+        EngineConfig {
+            workers,
+            ..EngineConfig::default()
+        }
+    }
+
+    /// Returns a copy with span tracing switched on or off.
+    pub fn with_trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
+        self
     }
 
     /// Reads the `YASHME_WORKERS` environment variable: a worker count, or
@@ -138,6 +158,9 @@ pub struct SingleRun {
     pub points: Vec<usize>,
     /// Operation counters across all phases.
     pub stats: crate::mem::ExecStats,
+    /// Span trace of the run, when the sink recorded one
+    /// ([`EngineConfig::trace`]).
+    pub trace: Option<obs::TraceBuf>,
 }
 
 /// Builds a fresh event sink for each simulated run. `Sync` because the
@@ -159,6 +182,9 @@ struct RunSpec {
 struct ReportSet {
     seen: HashSet<(crate::ReportKind, crate::event::Label)>,
     reports: Vec<RaceReport>,
+    /// Reports dropped because their `(kind, label)` was already present —
+    /// surfaced as the `engine.dedup_hits` metric.
+    dedup_hits: u64,
 }
 
 impl ReportSet {
@@ -167,6 +193,8 @@ impl ReportSet {
         for report in new {
             if self.seen.insert((report.kind(), report.label())) {
                 self.reports.push(report);
+            } else {
+                self.dedup_hits += 1;
             }
         }
     }
@@ -212,6 +240,11 @@ impl Engine {
         let mut all_panics: Vec<String> = Vec::new();
         let mut executions = 0usize;
         let mut stats = crate::mem::ExecStats::default();
+        // Trace lanes fill in run order (profile first, then crash targets)
+        // — never in worker-completion order — so the merged trace is
+        // byte-identical at every worker count.
+        let mut trace = config.trace.then(obs::RunTrace::new);
+        let mut queue_depth = obs::Histogram::new();
         let crash_points;
 
         match mode {
@@ -224,12 +257,16 @@ impl Engine {
                     seed: 0,
                     crash_target: None,
                 };
-                let profile = Self::run_spec(program, profile_spec, sink_factory());
+                let mut profile =
+                    Self::run_spec(program, profile_spec, Self::make_sink(sink_factory, config));
                 crash_points = profile.points.iter().sum();
                 executions += 1;
                 let phase0_points = profile.points.first().copied().unwrap_or(0);
                 let phase1_points = profile.points.get(1).copied().unwrap_or(0);
                 stats.absorb(&profile.stats);
+                if let Some(t) = trace.as_mut() {
+                    t.push_run(profile.trace.take().unwrap_or_default());
+                }
                 races.merge(profile.reports);
                 all_panics.extend(profile.panics);
 
@@ -246,16 +283,20 @@ impl Engine {
                         ..profile_spec
                     }));
                 }
-                for run in Self::run_specs(program, specs, sink_factory, workers) {
+                Self::sample_queue_depth(&mut queue_depth, specs.len());
+                for mut run in Self::run_specs(program, specs, sink_factory, workers, config) {
                     executions += 1;
                     stats.absorb(&run.stats);
+                    if let Some(t) = trace.as_mut() {
+                        t.push_run(run.trace.take().unwrap_or_default());
+                    }
                     races.merge(run.reports);
                     all_panics.extend(run.panics);
                 }
             }
             ExecMode::Random(cfg) => {
                 // One profiling run estimates the crash-point count.
-                let profile = Self::run_spec(
+                let mut profile = Self::run_spec(
                     program,
                     RunSpec {
                         policy: SchedPolicy::RandomChoice,
@@ -263,10 +304,13 @@ impl Engine {
                         seed: cfg.seed,
                         crash_target: None,
                     },
-                    sink_factory(),
+                    Self::make_sink(sink_factory, config),
                 );
                 crash_points = profile.points.iter().sum();
                 stats.absorb(&profile.stats);
+                if let Some(t) = trace.as_mut() {
+                    t.push_run(profile.trace.take().unwrap_or_default());
+                }
                 let est = profile.points.first().copied().unwrap_or(0);
                 // Seeds and crash targets are drawn up front so the
                 // schedule of draws — and hence every run — is identical
@@ -291,23 +335,72 @@ impl Engine {
                         }
                     })
                     .collect();
-                for run in Self::run_specs(program, specs, sink_factory, workers) {
+                Self::sample_queue_depth(&mut queue_depth, specs.len());
+                for mut run in Self::run_specs(program, specs, sink_factory, workers, config) {
                     executions += 1;
                     stats.absorb(&run.stats);
+                    if let Some(t) = trace.as_mut() {
+                        t.push_run(run.trace.take().unwrap_or_default());
+                    }
                     races.merge(run.reports);
                     all_panics.extend(run.panics);
                 }
             }
         }
 
+        if let Some(t) = trace.as_mut() {
+            // Coordinator lane: one Merge-phase span whose virtual clock
+            // ticks once per merged run — timing in "runs", not wall time.
+            let mut coord = obs::TraceBuf::new();
+            let merge_start = coord.now();
+            for _ in 0..executions {
+                coord.tick();
+            }
+            coord.span_since(
+                obs::Phase::Merge,
+                "merge reports",
+                merge_start,
+                vec![
+                    ("runs", executions as u64),
+                    ("reports", races.reports.len() as u64),
+                    ("dedup_hits", races.dedup_hits),
+                ],
+            );
+            t.set_coordinator(coord);
+        }
+
         RunReport::new(
+            races.dedup_hits,
             races.into_sorted(),
             executions,
             crash_points,
             all_panics,
             start.elapsed(),
             stats,
+            queue_depth,
+            trace,
         )
+    }
+
+    /// Builds the per-run sink: the factory's sink, wrapped in a
+    /// [`SpanTraceSink`] when tracing is on.
+    fn make_sink(sink_factory: SinkFactory<'_>, config: &EngineConfig) -> Box<dyn EventSink> {
+        if config.trace {
+            Box::new(SpanTraceSink::new(sink_factory()))
+        } else {
+            sink_factory()
+        }
+    }
+
+    /// Records work-queue occupancy for a batch of `n` enqueued runs.
+    ///
+    /// Sampled at *enqueue* time — after item `i` enters, the queue holds
+    /// `i + 1` items — because dequeue-side occupancy depends on worker
+    /// timing and would break the worker-count invariance of metrics.
+    fn sample_queue_depth(hist: &mut obs::Histogram, n: usize) {
+        for depth in 1..=n {
+            hist.record(depth as u64);
+        }
     }
 
     /// Runs `program` once under model-checking defaults with no detector —
@@ -432,9 +525,10 @@ impl Engine {
         specs: Vec<RunSpec>,
         sink_factory: SinkFactory<'_>,
         workers: usize,
+        config: &EngineConfig,
     ) -> Vec<SingleRun> {
         Self::fan_out(specs, workers, |spec| {
-            Self::run_spec(program, spec, sink_factory())
+            Self::run_spec(program, spec, Self::make_sink(sink_factory, config))
         })
     }
 
@@ -560,6 +654,7 @@ impl Engine {
                     panics: std::mem::take(&mut core.panics),
                     points: std::mem::take(&mut points),
                     stats: core.mem.stats,
+                    trace: core.sink.drain_trace(),
                 },
                 std::mem::take(&mut core.sched.choice_log),
             )

@@ -3,8 +3,10 @@
 use std::fmt;
 use std::time::Duration;
 
+use obs::{Histogram, MetricsRegistry, RunTrace};
 use pmem::Addr;
-use vclock::ThreadId;
+use px86::Atomicity;
+use vclock::{Clock, ThreadId, VectorClock};
 
 use crate::event::{ExecId, Label};
 use crate::mem::ExecStats;
@@ -23,6 +25,17 @@ pub enum ReportKind {
     PostCrashPanic,
 }
 
+impl ReportKind {
+    /// Stable kebab-case identifier used by machine-readable exports.
+    pub fn slug(self) -> &'static str {
+        match self {
+            ReportKind::PersistencyRace => "persistency-race",
+            ReportKind::BenignChecksum => "benign-checksum",
+            ReportKind::PostCrashPanic => "post-crash-panic",
+        }
+    }
+}
+
 impl fmt::Display for ReportKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(match self {
@@ -31,6 +44,42 @@ impl fmt::Display for ReportKind {
             ReportKind::PostCrashPanic => "post-crash panic",
         })
     }
+}
+
+/// The evidence trail behind one race report: everything needed to render
+/// the store → (missing) flush/fence → crash → load timeline that produced
+/// the finding (`yashme --explain`).
+///
+/// Filled in by the detector at detection time, where the store event, the
+/// observing load, the consistent prefix `CVpre`, and the store's recorded
+/// (but ineffective) flushes are all in hand.
+#[derive(Debug, Clone)]
+pub struct RaceProvenance {
+    /// The racing store's vector clock (`CV_s`).
+    pub store_cv: VectorClock,
+    /// Bytes the store writes.
+    pub store_len: u64,
+    /// Language-level atomicity of the store (always tearable for races).
+    pub store_atomicity: Atomicity,
+    /// Flushes recorded as happening-after the store that were *not*
+    /// effective — in prefix mode, flushes outside the consistent prefix —
+    /// as `(flushing thread, that thread's clock at the flush)`. Empty
+    /// means nothing ever flushed the store's line after the store.
+    pub ineffective_flushes: Vec<(ThreadId, Clock)>,
+    /// The consistent prefix `CVpre` of the store's execution at detection
+    /// time: how much of the pre-crash execution the post-crash reads had
+    /// pinned down.
+    pub cv_pre: VectorClock,
+    /// Thread performing the post-crash load.
+    pub load_thread: ThreadId,
+    /// First byte the load reads.
+    pub load_addr: Addr,
+    /// Bytes the load reads.
+    pub load_len: u64,
+    /// Label of the loading site ("" when the benchmark gave none).
+    pub load_label: Label,
+    /// Whether the load sat in a checksum-validation scope (§7.5).
+    pub validated: bool,
 }
 
 /// One detector finding.
@@ -43,6 +92,7 @@ pub struct RaceReport {
     load_exec: ExecId,
     store_thread: ThreadId,
     detail: String,
+    provenance: Option<Box<RaceProvenance>>,
 }
 
 impl RaceReport {
@@ -64,7 +114,19 @@ impl RaceReport {
             load_exec,
             store_thread,
             detail: detail.into(),
+            provenance: None,
         }
+    }
+
+    /// Attaches the evidence trail used by explain-mode rendering.
+    pub fn with_provenance(mut self, provenance: RaceProvenance) -> Self {
+        self.provenance = Some(Box::new(provenance));
+        self
+    }
+
+    /// The evidence trail behind the report, when the detector recorded it.
+    pub fn provenance(&self) -> Option<&RaceProvenance> {
+        self.provenance.as_deref()
     }
 
     /// The report kind.
@@ -128,16 +190,23 @@ pub struct RunReport {
     post_crash_panics: Vec<String>,
     elapsed: Duration,
     stats: ExecStats,
+    dedup_hits: u64,
+    queue_depth: Histogram,
+    trace: Option<RunTrace>,
 }
 
 impl RunReport {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
+        dedup_hits: u64,
         races: Vec<RaceReport>,
         executions: usize,
         crash_points: usize,
         post_crash_panics: Vec<String>,
         elapsed: Duration,
         stats: ExecStats,
+        queue_depth: Histogram,
+        trace: Option<RunTrace>,
     ) -> Self {
         RunReport {
             races,
@@ -146,6 +215,9 @@ impl RunReport {
             post_crash_panics,
             elapsed,
             stats,
+            dedup_hits,
+            queue_depth,
+            trace,
         }
     }
 
@@ -193,6 +265,55 @@ impl RunReport {
     pub fn stats(&self) -> &ExecStats {
         &self.stats
     }
+
+    /// Reports dropped by `(kind, label)` de-duplication during the merge.
+    pub fn dedup_hits(&self) -> u64 {
+        self.dedup_hits
+    }
+
+    /// The merged span trace, when the run executed with
+    /// [`EngineConfig::trace`](crate::EngineConfig) on.
+    pub fn trace(&self) -> Option<&RunTrace> {
+        self.trace.as_ref()
+    }
+
+    /// The run's metrics registry: every [`ExecStats`] counter under its
+    /// canonical [`obs::names`] key, engine-level counters (executions,
+    /// crash points, dedup hits, surviving reports), the enqueue-side
+    /// work-queue occupancy histogram, and — when tracing was on — the
+    /// trace's own event/span counters.
+    ///
+    /// Everything here is derived from deterministic inputs, so the
+    /// registry (and its JSON export) is identical at every worker count.
+    pub fn metrics(&self) -> MetricsRegistry {
+        let mut m = MetricsRegistry::new();
+        let s = &self.stats;
+        m.add(obs::names::OPS_STORES_EXECUTED, s.stores_executed);
+        m.add(obs::names::OPS_STORES_COMMITTED, s.stores_committed);
+        m.add(obs::names::OPS_LOADS, s.loads);
+        m.add(obs::names::OPS_FLUSHES, s.flushes);
+        m.add(obs::names::OPS_FENCES, s.fences);
+        m.add(obs::names::OPS_CAS, s.cas_ops);
+        m.add(obs::names::OPS_CRASHES, s.crashes);
+        m.add(obs::names::LOAD_BYTES_FROM_BYPASS, s.bytes_from_bypass);
+        m.add(obs::names::LOAD_BYTES_FROM_CACHE, s.bytes_from_cache);
+        m.add(obs::names::LOAD_BYTES_FROM_IMAGE, s.bytes_from_image);
+        m.add(
+            obs::names::LOAD_CANDIDATE_STORES_SCANNED,
+            s.candidate_stores_scanned,
+        );
+        m.add(obs::names::ENGINE_EXECUTIONS, self.executions as u64);
+        m.add(obs::names::ENGINE_CRASH_POINTS, self.crash_points as u64);
+        m.add(obs::names::ENGINE_DEDUP_HITS, self.dedup_hits);
+        m.add(obs::names::ENGINE_REPORTS, self.races.len() as u64);
+        if self.queue_depth.count() > 0 {
+            m.insert_histogram(obs::names::ENGINE_QUEUE_DEPTH, &self.queue_depth);
+        }
+        if let Some(trace) = &self.trace {
+            m.merge(trace.totals());
+        }
+        m
+    }
 }
 
 impl fmt::Display for RunReport {
@@ -231,6 +352,7 @@ mod tests {
     #[test]
     fn run_report_filters_true_races() {
         let rr = RunReport::new(
+            0,
             vec![
                 report(ReportKind::PersistencyRace, "a"),
                 report(ReportKind::BenignChecksum, "b"),
@@ -241,6 +363,8 @@ mod tests {
             vec![],
             Duration::from_millis(1),
             ExecStats::default(),
+            Histogram::new(),
+            None,
         );
         assert_eq!(rr.race_labels(), vec!["a", "c"]);
         assert_eq!(rr.races().len(), 3);

@@ -82,6 +82,64 @@ pub trait EventSink: Send {
     fn drain_reports(&mut self) -> Vec<RaceReport> {
         Vec::new()
     }
+
+    /// Takes the span trace recorded during the run, if this sink records
+    /// one. Only [`SpanTraceSink`] (and tees containing it) return `Some`;
+    /// detectors and [`NullSink`] use the default, so a run without tracing
+    /// pays nothing.
+    fn drain_trace(&mut self) -> Option<obs::TraceBuf> {
+        None
+    }
+}
+
+/// Boxed sinks forward every event — this is what lets the engine wrap a
+/// factory-built `Box<dyn EventSink>` in a [`SpanTraceSink`].
+impl<S: EventSink + ?Sized> EventSink for Box<S> {
+    fn on_execution_start(&mut self, exec: ExecId) {
+        (**self).on_execution_start(exec);
+    }
+
+    fn on_store_executed(&mut self, store: &StoreEvent) {
+        (**self).on_store_executed(store);
+    }
+
+    fn on_store_committed(&mut self, store: &StoreEvent) {
+        (**self).on_store_committed(store);
+    }
+
+    fn on_clflush_committed(&mut self, flush: &FlushEvent, line_stores: &[&StoreEvent]) {
+        (**self).on_clflush_committed(flush, line_stores);
+    }
+
+    fn on_clwb_fenced(
+        &mut self,
+        clwb: &FlushEvent,
+        fence_cv: &VectorClock,
+        line_stores: &[&StoreEvent],
+    ) {
+        (**self).on_clwb_fenced(clwb, fence_cv, line_stores);
+    }
+
+    fn on_crash(&mut self, exec: ExecId) {
+        (**self).on_crash(exec);
+    }
+
+    fn on_pre_exec_read(
+        &mut self,
+        load: &LoadInfo,
+        chosen: &[&StoreEvent],
+        candidates: &[&StoreEvent],
+    ) {
+        (**self).on_pre_exec_read(load, chosen, candidates);
+    }
+
+    fn drain_reports(&mut self) -> Vec<RaceReport> {
+        (**self).drain_reports()
+    }
+
+    fn drain_trace(&mut self) -> Option<obs::TraceBuf> {
+        (**self).drain_trace()
+    }
 }
 
 /// A sink that ignores every event: the plain Jaaru baseline used to measure
@@ -171,6 +229,16 @@ impl<A: EventSink, B: EventSink> EventSink for TeeSink<A, B> {
         out.extend(self.b.drain_reports());
         out
     }
+
+    fn drain_trace(&mut self) -> Option<obs::TraceBuf> {
+        match (self.a.drain_trace(), self.b.drain_trace()) {
+            (Some(mut a), Some(b)) => {
+                a.absorb(b);
+                Some(a)
+            }
+            (a, b) => a.or(b),
+        }
+    }
 }
 
 /// Records a human-readable event trace — attach alongside a detector via
@@ -189,6 +257,143 @@ impl TraceSink {
     /// A shared handle to the recorded lines (valid after the run).
     pub fn lines(&self) -> std::sync::Arc<std::sync::Mutex<Vec<String>>> {
         self.lines.clone()
+    }
+}
+
+/// Records the engine event stream as deterministic spans and counters in
+/// an [`obs::TraceBuf`], forwarding every event to an inner sink (usually
+/// the Yashme detector).
+///
+/// Timestamps come from the buffer's virtual clock, which ticks once per
+/// delivered event — never from wall time — so the trace of a run is
+/// identical wherever and whenever the run executes. The engine wraps sink
+/// factories in this type when [`EngineConfig::trace`](crate::EngineConfig)
+/// is on and collects the buffers into the [`RunReport`]'s merged
+/// [`obs::RunTrace`].
+///
+/// Span taxonomy (see DESIGN.md "Observability"):
+/// * one `exec N` span per execution, categorized pre-/post-crash;
+/// * a `detection (exec N)` span covering that execution's pre-crash-read
+///   checks, with candidate/chosen counts as args;
+/// * a `crash` instant at each injected or end-of-phase crash.
+#[derive(Debug)]
+pub struct SpanTraceSink<S> {
+    inner: S,
+    buf: obs::TraceBuf,
+    /// Open execution span: `(exec, start, is_post_crash)`.
+    open_exec: Option<(ExecId, u64, bool)>,
+    /// Open detection span: `(exec, start, candidates, chosen)`.
+    open_detect: Option<(ExecId, u64, u64, u64)>,
+}
+
+impl<S: EventSink> SpanTraceSink<S> {
+    /// Wraps `inner`, recording spans alongside its event handling.
+    pub fn new(inner: S) -> Self {
+        SpanTraceSink {
+            inner,
+            buf: obs::TraceBuf::new(),
+            open_exec: None,
+            open_detect: None,
+        }
+    }
+
+    fn close_detect(&mut self) {
+        if let Some((exec, start, candidates, chosen)) = self.open_detect.take() {
+            self.buf.span_since(
+                obs::Phase::Detection,
+                format!("detection (exec {exec})"),
+                start,
+                vec![("candidates", candidates), ("chosen", chosen)],
+            );
+        }
+    }
+
+    fn close_exec(&mut self) {
+        self.close_detect();
+        if let Some((exec, start, post_crash)) = self.open_exec.take() {
+            let phase = if post_crash {
+                obs::Phase::PostCrashExec
+            } else {
+                obs::Phase::PreCrashExec
+            };
+            self.buf
+                .span_since(phase, format!("exec {exec}"), start, vec![]);
+        }
+    }
+}
+
+impl<S: EventSink> EventSink for SpanTraceSink<S> {
+    fn on_execution_start(&mut self, exec: ExecId) {
+        self.buf.tick();
+        self.close_exec();
+        self.open_exec = Some((exec, self.buf.now(), exec > 0));
+        self.inner.on_execution_start(exec);
+    }
+
+    fn on_store_executed(&mut self, store: &StoreEvent) {
+        self.buf.tick();
+        self.inner.on_store_executed(store);
+    }
+
+    fn on_store_committed(&mut self, store: &StoreEvent) {
+        self.buf.tick();
+        self.inner.on_store_committed(store);
+    }
+
+    fn on_clflush_committed(&mut self, flush: &FlushEvent, line_stores: &[&StoreEvent]) {
+        self.buf.tick();
+        self.inner.on_clflush_committed(flush, line_stores);
+    }
+
+    fn on_clwb_fenced(
+        &mut self,
+        clwb: &FlushEvent,
+        fence_cv: &VectorClock,
+        line_stores: &[&StoreEvent],
+    ) {
+        self.buf.tick();
+        self.inner.on_clwb_fenced(clwb, fence_cv, line_stores);
+    }
+
+    fn on_crash(&mut self, exec: ExecId) {
+        self.buf.tick();
+        self.buf.instant(
+            obs::Phase::CrashInjection,
+            "crash",
+            vec![("exec", exec as u64)],
+        );
+        self.inner.on_crash(exec);
+    }
+
+    fn on_pre_exec_read(
+        &mut self,
+        load: &LoadInfo,
+        chosen: &[&StoreEvent],
+        candidates: &[&StoreEvent],
+    ) {
+        self.buf.tick();
+        let entry = self
+            .open_detect
+            .get_or_insert((load.exec, self.buf.now() - 1, 0, 0));
+        entry.2 += candidates.len() as u64;
+        entry.3 += chosen.len() as u64;
+        self.inner.on_pre_exec_read(load, chosen, candidates);
+    }
+
+    fn drain_reports(&mut self) -> Vec<RaceReport> {
+        self.inner.drain_reports()
+    }
+
+    fn drain_trace(&mut self) -> Option<obs::TraceBuf> {
+        self.close_exec();
+        let mut buf = std::mem::take(&mut self.buf);
+        buf.counters.add(obs::names::TRACE_EVENTS, buf.events());
+        buf.counters
+            .add(obs::names::TRACE_SPANS, buf.spans.len() as u64);
+        if let Some(inner) = self.inner.drain_trace() {
+            buf.absorb(inner);
+        }
+        Some(buf)
     }
 }
 

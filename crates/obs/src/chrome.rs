@@ -1,0 +1,144 @@
+//! Chrome trace-event JSON export.
+//!
+//! Emits the subset of the [trace-event format] that Perfetto and
+//! `chrome://tracing` render: `M` (metadata) events naming each lane, `X`
+//! (complete) events for spans, and `i` (instant) events. Virtual-clock
+//! units map 1:1 to microseconds — durations then read as "engine events"
+//! in the viewer's time axis.
+//!
+//! The export is deterministic: lanes come out in lane order and each
+//! lane's events in `(ts, name)` order, so equal [`RunTrace`]s render to
+//! byte-identical JSON.
+//!
+//! [trace-event format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use crate::json::Json;
+use crate::span::{RunTrace, COORDINATOR_LANE};
+
+/// The `pid` every event carries (one logical process per engine run).
+const PID: u64 = 1;
+
+/// Renders `trace` as a complete Chrome trace-event JSON document.
+pub fn to_chrome_json(trace: &RunTrace) -> String {
+    let mut events: Vec<Json> = Vec::new();
+    events.push(metadata(
+        "process_name",
+        COORDINATOR_LANE,
+        ("name", Json::from("yashme exploration")),
+    ));
+    for (lane, _) in trace.lanes() {
+        let name = if *lane == COORDINATOR_LANE {
+            "coordinator".to_owned()
+        } else {
+            format!("run {}", lane - 1)
+        };
+        events.push(metadata("thread_name", *lane, ("name", Json::from(name))));
+    }
+    for (lane, buf) in trace.lanes() {
+        // Deterministic per-lane order even if recording interleaved spans
+        // and instants: sort each kind by (ts, name), spans first.
+        let mut spans: Vec<_> = buf.spans.iter().collect();
+        spans.sort_by(|a, b| (a.start, &a.name).cmp(&(b.start, &b.name)));
+        for span in spans {
+            events.push(Json::obj([
+                ("name", Json::from(span.name.as_str())),
+                ("cat", Json::from(span.phase.name())),
+                ("ph", Json::from("X")),
+                ("ts", Json::U64(span.start)),
+                ("dur", Json::U64(span.dur)),
+                ("pid", Json::U64(PID)),
+                ("tid", Json::U64(*lane)),
+                ("args", args_obj(&span.args)),
+            ]));
+        }
+        let mut instants: Vec<_> = buf.instants.iter().collect();
+        instants.sort_by(|a, b| (a.ts, &a.name).cmp(&(b.ts, &b.name)));
+        for inst in instants {
+            events.push(Json::obj([
+                ("name", Json::from(inst.name.as_str())),
+                ("cat", Json::from(inst.phase.name())),
+                ("ph", Json::from("i")),
+                ("ts", Json::U64(inst.ts)),
+                ("s", Json::from("t")),
+                ("pid", Json::U64(PID)),
+                ("tid", Json::U64(*lane)),
+                ("args", args_obj(&inst.args)),
+            ]));
+        }
+    }
+    Json::obj([
+        ("traceEvents", Json::Arr(events)),
+        ("displayTimeUnit", Json::from("ms")),
+        (
+            "otherData",
+            Json::obj([
+                ("clock", Json::from("virtual (engine events)")),
+                ("runs", Json::from(trace.runs())),
+                ("spans", Json::from(trace.span_count())),
+                ("events", Json::U64(trace.event_count())),
+            ]),
+        ),
+    ])
+    .render()
+}
+
+fn metadata(name: &'static str, tid: u64, arg: (&'static str, Json)) -> Json {
+    Json::obj([
+        ("name", Json::from(name)),
+        ("ph", Json::from("M")),
+        ("pid", Json::U64(PID)),
+        ("tid", Json::U64(tid)),
+        ("args", Json::obj([arg])),
+    ])
+}
+
+fn args_obj(args: &[(&'static str, u64)]) -> Json {
+    Json::Obj(
+        args.iter()
+            .map(|&(k, v)| (k.to_owned(), Json::U64(v)))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{Phase, TraceBuf};
+
+    fn sample_trace() -> RunTrace {
+        let mut run = TraceBuf::new();
+        let start = run.now();
+        run.tick();
+        run.tick();
+        run.span_since(Phase::PreCrashExec, "exec 0", start, vec![("stores", 2)]);
+        run.instant(Phase::CrashInjection, "crash", vec![]);
+        let mut trace = RunTrace::new();
+        trace.push_run(run);
+        let mut coord = TraceBuf::new();
+        coord.tick();
+        coord.span_since(Phase::Merge, "merge", 0, vec![("reports", 1)]);
+        trace.set_coordinator(coord);
+        trace
+    }
+
+    #[test]
+    fn export_contains_lanes_spans_and_instants() {
+        let json = to_chrome_json(&sample_trace());
+        assert!(json.starts_with("{\"traceEvents\":["), "{json}");
+        assert!(json.contains("\"thread_name\""), "{json}");
+        assert!(json.contains("\"run 0\""), "{json}");
+        assert!(json.contains("\"coordinator\""), "{json}");
+        assert!(json.contains("\"ph\":\"X\""), "{json}");
+        assert!(json.contains("\"ph\":\"i\""), "{json}");
+        assert!(json.contains("\"cat\":\"pre-crash-exec\""), "{json}");
+        assert!(json.contains("\"cat\":\"merge\""), "{json}");
+    }
+
+    #[test]
+    fn equal_traces_render_byte_identically() {
+        assert_eq!(
+            to_chrome_json(&sample_trace()),
+            to_chrome_json(&sample_trace())
+        );
+    }
+}

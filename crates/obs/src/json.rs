@@ -1,0 +1,156 @@
+//! A minimal JSON writer with stable field order.
+//!
+//! The workspace's vendored `serde` is a no-op stub (the build environment
+//! has no registry access), so every JSON document this repo emits — Chrome
+//! traces, metrics exports, `--json` reports — is written through this
+//! module. Object fields render in insertion order, which callers keep
+//! stable; nothing here reorders or deduplicates.
+
+use std::fmt::Write as _;
+
+/// A JSON value. Construct with the `From` impls and the [`Json::obj`] /
+/// [`Json::arr`] helpers; render with [`Json::render`].
+///
+/// Floats are deliberately absent: every number this repo exports is an
+/// integer, which keeps renderings byte-stable across platforms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; fields render in the order given.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs, preserving order.
+    pub fn obj(fields: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+    }
+
+    /// Builds an array from values.
+    pub fn arr(items: impl IntoIterator<Item = Json>) -> Json {
+        Json::Arr(items.into_iter().collect())
+    }
+
+    /// Renders the value as compact JSON.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U64(n) => write!(out, "{n}").expect("write to string"),
+            Json::I64(n) => write!(out, "{n}").expect("write to string"),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, key);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_owned())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(n: u64) -> Json {
+        Json::U64(n)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(n: usize) -> Json {
+        Json::U64(n as u64)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+
+/// Writes `s` as a JSON string literal with the mandatory escapes.
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32).expect("write to string"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_structures_in_order() {
+        let doc = Json::obj([
+            ("b", Json::from(1u64)),
+            ("a", Json::arr([Json::Null, Json::from(true)])),
+            ("s", Json::from("hi")),
+        ]);
+        assert_eq!(doc.render(), r#"{"b":1,"a":[null,true],"s":"hi"}"#);
+    }
+
+    #[test]
+    fn escapes_control_and_quote_characters() {
+        let doc = Json::from("a\"b\\c\nd\u{1}");
+        assert_eq!(doc.render(), r#""a\"b\\c\nd\u0001""#);
+    }
+
+    #[test]
+    fn negative_numbers_render() {
+        assert_eq!(Json::I64(-3).render(), "-3");
+    }
+}

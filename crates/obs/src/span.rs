@@ -1,0 +1,284 @@
+//! Virtual-time spans and per-run trace buffers.
+//!
+//! A [`TraceBuf`] belongs to exactly one simulated run: the run's sink owns
+//! it, appends to plain `Vec`s (no locks, no atomics), and hands it back
+//! when the run finishes. Timestamps come from the buffer's **virtual
+//! clock**, which the owner ticks once per engine event — a run's trace is
+//! therefore a pure function of the run, independent of wall time, machine
+//! load, or which pool worker executed it.
+//!
+//! [`RunTrace`] merges the buffers of a whole engine invocation in *run
+//! order* (profiling run first, then one buffer per crash target), giving
+//! each run its own lane. That merge order is what makes the aggregate
+//! trace byte-identical at every `--workers` count.
+
+use crate::metrics::MetricsRegistry;
+
+/// The engine phase a span or instant belongs to. Names are stable — they
+/// appear in Chrome trace categories and in DESIGN.md's span taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Phase {
+    /// Execution of the first (pre-crash) execution of a run.
+    PreCrashExec,
+    /// The injected (or end-of-phase) crash.
+    CrashInjection,
+    /// Execution of a post-crash (recovery) execution.
+    PostCrashExec,
+    /// Detector work: race-checking the post-crash reads.
+    Detection,
+    /// Coordinator-side merging of per-run reports and traces.
+    Merge,
+}
+
+impl Phase {
+    /// The stable name used in exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::PreCrashExec => "pre-crash-exec",
+            Phase::CrashInjection => "crash-injection",
+            Phase::PostCrashExec => "post-crash-exec",
+            Phase::Detection => "detection",
+            Phase::Merge => "merge",
+        }
+    }
+}
+
+impl std::fmt::Display for Phase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A closed span: `[start, start + dur)` in virtual-clock units.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Phase taxonomy bucket (becomes the Chrome trace category).
+    pub phase: Phase,
+    /// Display name, e.g. `"exec 1"`.
+    pub name: String,
+    /// Virtual start time.
+    pub start: u64,
+    /// Virtual duration (0 is legal: an empty execution).
+    pub dur: u64,
+    /// Deterministic key/value annotations (rendered as Chrome `args`).
+    pub args: Vec<(&'static str, u64)>,
+}
+
+/// A point event on a lane (e.g. a crash).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanInstant {
+    /// Phase taxonomy bucket.
+    pub phase: Phase,
+    /// Display name, e.g. `"crash"`.
+    pub name: String,
+    /// Virtual timestamp.
+    pub ts: u64,
+    /// Deterministic key/value annotations.
+    pub args: Vec<(&'static str, u64)>,
+}
+
+/// One run's trace: spans, instants, counters, and the virtual clock that
+/// stamps them. Owned by a single thread for its whole life — recording is
+/// plain `Vec::push`.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct TraceBuf {
+    now: u64,
+    /// Closed spans in recording order.
+    pub spans: Vec<Span>,
+    /// Instant events in recording order.
+    pub instants: Vec<SpanInstant>,
+    /// Counters and histograms local to this run.
+    pub counters: MetricsRegistry,
+}
+
+impl TraceBuf {
+    /// Creates an empty buffer at virtual time 0.
+    pub fn new() -> Self {
+        TraceBuf::default()
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Advances the virtual clock by one event and returns the new time.
+    pub fn tick(&mut self) -> u64 {
+        self.now += 1;
+        self.now
+    }
+
+    /// Records a span that started at `start` and ends now.
+    pub fn span_since(
+        &mut self,
+        phase: Phase,
+        name: impl Into<String>,
+        start: u64,
+        args: Vec<(&'static str, u64)>,
+    ) {
+        self.spans.push(Span {
+            phase,
+            name: name.into(),
+            start,
+            dur: self.now.saturating_sub(start),
+            args,
+        });
+    }
+
+    /// Records an instant at the current virtual time.
+    pub fn instant(
+        &mut self,
+        phase: Phase,
+        name: impl Into<String>,
+        args: Vec<(&'static str, u64)>,
+    ) {
+        self.instants.push(SpanInstant {
+            phase,
+            name: name.into(),
+            ts: self.now,
+            args,
+        });
+    }
+
+    /// Appends another buffer's records (used by tee'd sinks). Spans keep
+    /// their own timelines; counters merge additively.
+    pub fn absorb(&mut self, other: TraceBuf) {
+        self.now = self.now.max(other.now);
+        self.spans.extend(other.spans);
+        self.instants.extend(other.instants);
+        self.counters.merge(&other.counters);
+    }
+
+    /// Total events witnessed (the final virtual time).
+    pub fn events(&self) -> u64 {
+        self.now
+    }
+}
+
+/// The merged trace of an engine invocation: one lane per run, in run
+/// order, plus a coordinator lane (lane 0) for merge activity.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct RunTrace {
+    /// `(lane, buffer)` pairs; lane 0 is the coordinator, runs get 1..N.
+    lanes: Vec<(u64, TraceBuf)>,
+    /// Aggregate counters over every lane.
+    totals: MetricsRegistry,
+}
+
+/// Lane id reserved for the engine coordinator (merge spans).
+pub const COORDINATOR_LANE: u64 = 0;
+
+impl RunTrace {
+    /// Creates an empty merged trace.
+    pub fn new() -> Self {
+        RunTrace::default()
+    }
+
+    /// Appends the next run's buffer, assigning it the next lane (1-based;
+    /// lane 0 is the coordinator). Call in run order — lane assignment is
+    /// what encodes the deterministic merge.
+    pub fn push_run(&mut self, buf: TraceBuf) -> u64 {
+        let lane = self
+            .lanes
+            .iter()
+            .map(|(l, _)| *l)
+            .max()
+            .map_or(1, |l| l + 1);
+        self.totals.merge(&buf.counters);
+        self.lanes.push((lane, buf));
+        lane
+    }
+
+    /// Sets the coordinator lane's buffer (merge spans, queue instants).
+    pub fn set_coordinator(&mut self, buf: TraceBuf) {
+        self.totals.merge(&buf.counters);
+        self.lanes.insert(0, (COORDINATOR_LANE, buf));
+    }
+
+    /// All lanes in `(lane, buffer)` form, coordinator first.
+    pub fn lanes(&self) -> &[(u64, TraceBuf)] {
+        &self.lanes
+    }
+
+    /// Counters summed over every lane.
+    pub fn totals(&self) -> &MetricsRegistry {
+        &self.totals
+    }
+
+    /// Number of run lanes (excluding the coordinator).
+    pub fn runs(&self) -> usize {
+        self.lanes
+            .iter()
+            .filter(|(l, _)| *l != COORDINATOR_LANE)
+            .count()
+    }
+
+    /// Total spans across every lane.
+    pub fn span_count(&self) -> usize {
+        self.lanes.iter().map(|(_, b)| b.spans.len()).sum()
+    }
+
+    /// Total virtual events across every lane.
+    pub fn event_count(&self) -> u64 {
+        self.lanes.iter().map(|(_, b)| b.events()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn buf_with(name: &str, ticks: u64) -> TraceBuf {
+        let mut buf = TraceBuf::new();
+        let start = buf.now();
+        for _ in 0..ticks {
+            buf.tick();
+        }
+        buf.span_since(Phase::PreCrashExec, name, start, vec![("ticks", ticks)]);
+        buf
+    }
+
+    #[test]
+    fn spans_use_virtual_time() {
+        let buf = buf_with("exec 0", 3);
+        assert_eq!(buf.spans.len(), 1);
+        assert_eq!(buf.spans[0].start, 0);
+        assert_eq!(buf.spans[0].dur, 3);
+        assert_eq!(buf.events(), 3);
+    }
+
+    #[test]
+    fn run_order_assigns_lanes_deterministically() {
+        let mut trace = RunTrace::new();
+        assert_eq!(trace.push_run(buf_with("a", 1)), 1);
+        assert_eq!(trace.push_run(buf_with("b", 2)), 2);
+        trace.set_coordinator(TraceBuf::new());
+        let lanes: Vec<u64> = trace.lanes().iter().map(|(l, _)| *l).collect();
+        assert_eq!(lanes, vec![0, 1, 2]);
+        assert_eq!(trace.runs(), 2);
+        assert_eq!(trace.span_count(), 2);
+        assert_eq!(trace.event_count(), 3);
+    }
+
+    #[test]
+    fn absorb_concatenates_and_merges_counters() {
+        let mut a = buf_with("a", 2);
+        a.counters.add("x", 1);
+        let mut b = buf_with("b", 5);
+        b.counters.add("x", 2);
+        a.absorb(b);
+        assert_eq!(a.spans.len(), 2);
+        assert_eq!(a.events(), 5);
+        assert_eq!(a.counters.counter("x"), 3);
+    }
+
+    #[test]
+    fn instants_are_stamped_at_now() {
+        let mut buf = TraceBuf::new();
+        buf.tick();
+        buf.tick();
+        buf.instant(Phase::CrashInjection, "crash", vec![]);
+        assert_eq!(buf.instants[0].ts, 2);
+        assert_eq!(buf.instants[0].phase, Phase::CrashInjection);
+    }
+}

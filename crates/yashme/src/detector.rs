@@ -182,15 +182,38 @@ impl YashmeDetector {
             load.addr,
             load.exec,
         );
-        self.reports.push(RaceReport::new(
-            kind,
-            store.label,
-            store.addr,
-            store.exec,
-            load.exec,
-            store.thread,
-            detail,
-        ));
+        // Evidence trail for explain mode: the store's clock vector, every
+        // recorded-but-ineffective flush, and the consistent prefix that
+        // failed to cover them — captured here, where they are all in hand.
+        let state = self.state(store.exec);
+        let provenance = jaaru::RaceProvenance {
+            store_cv: store.cv.clone(),
+            store_len: store.len(),
+            store_atomicity: store.atomicity,
+            ineffective_flushes: state
+                .flushmap
+                .get(&store.id)
+                .map(|records| records.iter().map(|r| (r.thread, r.clock)).collect())
+                .unwrap_or_default(),
+            cv_pre: state.cv_pre.clone(),
+            load_thread: load.thread,
+            load_addr: load.addr,
+            load_len: load.len,
+            load_label: load.label,
+            validated: load.validated,
+        };
+        self.reports.push(
+            RaceReport::new(
+                kind,
+                store.label,
+                store.addr,
+                store.exec,
+                load.exec,
+                store.thread,
+                detail,
+            )
+            .with_provenance(provenance),
+        );
     }
 }
 

@@ -65,12 +65,13 @@
 
 mod config;
 mod detector;
+pub mod json;
 pub mod render;
 
 pub use config::YashmeConfig;
 pub use detector::YashmeDetector;
 
-pub use jaaru::{EngineConfig, RaceReport, ReportKind, RunReport};
+pub use jaaru::{EngineConfig, RaceProvenance, RaceReport, ReportKind, RunReport};
 
 use jaaru::{Engine, ExecMode, Program};
 

@@ -1,7 +1,9 @@
-//! Rendering of race reports in the paper's table styles.
+//! Rendering of race reports in the paper's table styles, plus the
+//! explain-mode provenance timeline.
 
 use std::fmt::Write as _;
 
+use jaaru::obs::{names, Phase};
 use jaaru::{RaceReport, ReportKind, RunReport};
 
 /// Renders Table 3 / Table 4 style rows: `# <tab> Benchmark <tab> Root
@@ -63,26 +65,155 @@ pub fn render_summary(report: &RunReport) -> String {
     out
 }
 
-/// Renders the run's operation counters and load-resolution breakdown:
-/// how many load bytes were served by store-buffer bypass, the current
-/// execution's cache, and the persistent image, and how many candidate
-/// stores the load path scanned.
+/// Renders the run's operation counters and load-resolution breakdown,
+/// followed by every metric in the run's registry under its canonical
+/// [`jaaru::obs::names`] key.
+///
+/// The two summary lines and the registry dump draw from the *same*
+/// [`RunReport::metrics`] source, so the human-readable counters can never
+/// drift from the `--metrics-out` export. Nothing here depends on wall
+/// time, so the output is deterministic and golden-testable.
 pub fn render_stats(report: &RunReport) -> String {
-    let s = report.stats();
+    let m = report.metrics();
     let mut out = String::new();
     writeln!(
         out,
         "ops: {} stores ({} committed), {} loads, {} flushes, {} fences, {} cas, {} crashes",
-        s.stores_executed, s.stores_committed, s.loads, s.flushes, s.fences, s.cas_ops, s.crashes,
+        m.counter(names::OPS_STORES_EXECUTED),
+        m.counter(names::OPS_STORES_COMMITTED),
+        m.counter(names::OPS_LOADS),
+        m.counter(names::OPS_FLUSHES),
+        m.counter(names::OPS_FENCES),
+        m.counter(names::OPS_CAS),
+        m.counter(names::OPS_CRASHES),
     )
     .expect("write to string");
     writeln!(
         out,
         "load resolution: {} B from store-buffer bypass, {} B from cache, \
          {} B from image; {} candidate store(s) scanned",
-        s.bytes_from_bypass, s.bytes_from_cache, s.bytes_from_image, s.candidate_stores_scanned,
+        m.counter(names::LOAD_BYTES_FROM_BYPASS),
+        m.counter(names::LOAD_BYTES_FROM_CACHE),
+        m.counter(names::LOAD_BYTES_FROM_IMAGE),
+        m.counter(names::LOAD_CANDIDATE_STORES_SCANNED),
     )
     .expect("write to string");
+    writeln!(out, "metrics:").expect("write to string");
+    for (name, value) in m.counters() {
+        writeln!(out, "  {name} = {value}").expect("write to string");
+    }
+    for (name, h) in m.histograms() {
+        writeln!(
+            out,
+            "  {name}: count={} sum={} max={}",
+            h.count(),
+            h.sum(),
+            h.max()
+        )
+        .expect("write to string");
+    }
+    out
+}
+
+/// Renders the provenance timeline behind one report (`yashme --explain`):
+/// the racing store, its missing or ineffective flush/fence, the injected
+/// crash, the post-crash load that observed the store, and the detection
+/// verdict — each step tagged with the [`Phase`] it belongs to, annotated
+/// with the vector clocks the detector compared.
+///
+/// Reports carried without provenance (e.g. post-crash panics) fall back to
+/// the one-line [`render_detail`] form.
+pub fn render_explain(benchmark: &str, index: usize, report: &RaceReport) -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "race #{index} [{benchmark}]: {} on `{}`",
+        report.kind(),
+        report.label()
+    )
+    .expect("write to string");
+    let Some(p) = report.provenance() else {
+        writeln!(out, "  {}", render_detail(benchmark, report)).expect("write to string");
+        return out;
+    };
+    let step = |out: &mut String, phase: Phase, text: &str| {
+        writeln!(out, "  [{:>15}] {text}", phase.name()).expect("write to string");
+    };
+    step(
+        &mut out,
+        Phase::PreCrashExec,
+        &format!(
+            "execution {}: {} stores {} {} byte(s) to `{}` at {}, cv {}",
+            report.store_exec(),
+            report.store_thread(),
+            p.store_len,
+            p.store_atomicity,
+            report.label(),
+            report.addr(),
+            p.store_cv,
+        ),
+    );
+    if p.ineffective_flushes.is_empty() {
+        step(
+            &mut out,
+            Phase::PreCrashExec,
+            "no flush: no clflush or clwb+fence happens-after the store",
+        );
+    } else {
+        let flushes: Vec<String> = p
+            .ineffective_flushes
+            .iter()
+            .map(|(t, c)| format!("{t}@{c}"))
+            .collect();
+        step(
+            &mut out,
+            Phase::PreCrashExec,
+            &format!(
+                "{} flush(es) happen-after the store ({}) but none lies \
+                 inside the consistent prefix",
+                flushes.len(),
+                flushes.join(", "),
+            ),
+        );
+    }
+    step(
+        &mut out,
+        Phase::CrashInjection,
+        &format!(
+            "injected crash ends execution {} with the store unpersisted",
+            report.store_exec()
+        ),
+    );
+    step(
+        &mut out,
+        Phase::PostCrashExec,
+        &format!(
+            "execution {}: {} loads {} byte(s) at {}{}{}",
+            report.load_exec(),
+            p.load_thread,
+            p.load_len,
+            p.load_addr,
+            if p.load_label.is_empty() {
+                String::new()
+            } else {
+                format!(" (`{}`)", p.load_label)
+            },
+            if p.validated {
+                ", inside a checksum-validation scope"
+            } else {
+                ""
+            },
+        ),
+    );
+    step(
+        &mut out,
+        Phase::Detection,
+        &format!(
+            "no flush inside the consistent prefix CVpre {} persists the \
+             store (cv {}) => the load may observe a torn value",
+            p.cv_pre, p.store_cv,
+        ),
+    );
     out
 }
 

@@ -7,13 +7,17 @@
 //! yashme --benchmark Memcached --mode random --executions 50 --seed 7
 //! yashme --all --baseline
 //! yashme --benchmark Fast_Fair --eadr --details
+//! yashme --benchmark CCEH --explain
+//! yashme --benchmark CCEH --trace-out trace.json --metrics-out metrics.json
+//! yashme --all --json
 //! ```
 
 use std::process::ExitCode;
 
 use bench::{evaluation_suite, SuiteEntry};
+use jaaru::obs::Json;
 use jaaru::{EngineConfig, ExecMode};
-use yashme::{render, YashmeConfig};
+use yashme::{json, render, YashmeConfig};
 
 #[derive(Debug)]
 struct Options {
@@ -26,6 +30,10 @@ struct Options {
     baseline: bool,
     eadr: bool,
     details: bool,
+    explain: bool,
+    json: bool,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
     engine: EngineConfig,
 }
 
@@ -48,6 +56,10 @@ impl Default for Options {
             baseline: false,
             eadr: false,
             details: false,
+            explain: false,
+            json: false,
+            trace_out: None,
+            metrics_out: None,
             engine: EngineConfig::from_env(),
         }
     }
@@ -56,7 +68,8 @@ impl Default for Options {
 fn usage() -> &'static str {
     "usage: yashme (--list | --all | --benchmark <NAME>) \
      [--mode model-check|random] [--executions N] [--seed S] \
-     [--workers N|auto] [--baseline] [--eadr] [--details]"
+     [--workers N|auto] [--baseline] [--eadr] [--details] [--explain] \
+     [--json] [--trace-out FILE] [--metrics-out FILE]"
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -113,12 +126,38 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--baseline" => opts.baseline = true,
             "--eadr" => opts.eadr = true,
             "--details" => opts.details = true,
+            "--explain" => opts.explain = true,
+            "--json" => opts.json = true,
+            "--trace-out" => {
+                opts.trace_out = Some(
+                    it.next()
+                        .ok_or_else(|| "--trace-out needs a path".to_owned())?
+                        .clone(),
+                )
+            }
+            "--metrics-out" => {
+                opts.metrics_out = Some(
+                    it.next()
+                        .ok_or_else(|| "--metrics-out needs a path".to_owned())?
+                        .clone(),
+                )
+            }
             "--help" | "-h" => return Err(usage().to_owned()),
             other => return Err(format!("unknown argument {other:?}\n{}", usage())),
         }
     }
     if !opts.list && !opts.all && opts.benchmark.is_none() {
         return Err(usage().to_owned());
+    }
+    if (opts.trace_out.is_some() || opts.metrics_out.is_some()) && opts.all {
+        return Err(
+            "--trace-out/--metrics-out need a single --benchmark (traces are per run)".to_owned(),
+        );
+    }
+    if opts.trace_out.is_some() || opts.metrics_out.is_some() {
+        // Tracing is opt-in: the engine only allocates span buffers when an
+        // export was requested.
+        opts.engine = opts.engine.with_trace(true);
     }
     Ok(opts)
 }
@@ -133,7 +172,11 @@ fn config_of(opts: &Options) -> YashmeConfig {
     cfg
 }
 
-fn run_one(entry: &SuiteEntry, opts: &Options) -> usize {
+fn write_file(path: &str, contents: &str, what: &str) -> Result<(), String> {
+    std::fs::write(path, contents).map_err(|e| format!("writing {what} to {path}: {e}"))
+}
+
+fn run_one(entry: &SuiteEntry, opts: &Options, docs: &mut Vec<Json>) -> Result<usize, String> {
     let program = (entry.program)();
     let mode = match (opts.mode, entry.mode) {
         (Mode::ModelCheck, _) => ExecMode::model_check(),
@@ -142,22 +185,42 @@ fn run_one(entry: &SuiteEntry, opts: &Options) -> usize {
         (Mode::Auto, bench::SuiteMode::Random(n)) => ExecMode::random(n, opts.seed),
     };
     let report = yashme::check_with(&program, mode, config_of(opts), &opts.engine);
-    println!("== {} ==", entry.name);
-    print!("{}", render::render_summary(&report));
-    let (rows, _) = render::render_race_rows(entry.name, &report, 1);
-    if rows.is_empty() {
-        println!("no persistency races found");
+    if opts.json {
+        docs.push(json::run_json(entry.name, &report, true));
     } else {
-        print!("{rows}");
-    }
-    if opts.details {
-        for r in report.races() {
-            println!("  {}", render::render_detail(entry.name, r));
+        println!("== {} ==", entry.name);
+        print!("{}", render::render_summary(&report));
+        let (rows, _) = render::render_race_rows(entry.name, &report, 1);
+        if rows.is_empty() {
+            println!("no persistency races found");
+        } else {
+            print!("{rows}");
         }
-        print!("{}", render::render_stats(&report));
+        if opts.details {
+            for r in report.races() {
+                println!("  {}", render::render_detail(entry.name, r));
+            }
+            print!("{}", render::render_stats(&report));
+        }
+        if opts.explain {
+            for (i, r) in report.races().iter().enumerate() {
+                print!("{}", render::render_explain(entry.name, i + 1, r));
+            }
+        }
+        println!();
     }
-    println!();
-    report.race_labels().len()
+    if let Some(path) = &opts.trace_out {
+        let trace = report
+            .trace()
+            .ok_or_else(|| "engine produced no trace".to_owned())?;
+        write_file(path, &jaaru::obs::to_chrome_json(trace), "chrome trace")?;
+    }
+    if let Some(path) = &opts.metrics_out {
+        let mut doc = report.metrics().to_json().render();
+        doc.push('\n');
+        write_file(path, &doc, "metrics")?;
+    }
+    Ok(report.race_labels().len())
 }
 
 fn main() -> ExitCode {
@@ -211,20 +274,41 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     let mut total = 0;
+    let mut docs = Vec::new();
+    let mut run = |e: &SuiteEntry| match run_one(e, &opts, &mut docs) {
+        Ok(n) => {
+            total += n;
+            true
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            false
+        }
+    };
     if opts.all {
         for e in &suite {
-            total += run_one(e, &opts);
+            if !run(e) {
+                return ExitCode::from(2);
+            }
         }
     } else if let Some(name) = &opts.benchmark {
         match suite.iter().find(|e| e.name.eq_ignore_ascii_case(name)) {
-            Some(e) => total += run_one(e, &opts),
+            Some(e) => {
+                if !run(e) {
+                    return ExitCode::from(2);
+                }
+            }
             None => {
                 eprintln!("unknown benchmark {name:?}; try --list");
                 return ExitCode::from(2);
             }
         }
     }
-    println!("total: {total} persistency race(s)");
+    if opts.json {
+        println!("{}", json::suite_json(docs, total).render());
+    } else {
+        println!("total: {total} persistency race(s)");
+    }
     // Exit code 1 when races were found, like a linter.
     if total > 0 {
         ExitCode::FAILURE
