@@ -2,9 +2,10 @@
 //! (workers=1) vs parallel wall time per benchmark, verifying the reports
 //! are identical, and writes the results to `BENCH_parallel.json`.
 //!
-//! Usage: `parallel [--workers N] [--out PATH]` — `--workers` defaults to
-//! 4 (the configuration quoted in EXPERIMENTS.md); `--out` defaults to
-//! `BENCH_parallel.json` in the current directory.
+//! Usage: `parallel [--workers N] [--no-fork] [--out PATH]` — `--workers`
+//! defaults to 4 (the configuration quoted in EXPERIMENTS.md); `--no-fork`
+//! disables checkpoint/fork exploration in both configurations; `--out`
+//! defaults to `BENCH_parallel.json` in the current directory.
 
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
@@ -42,17 +43,19 @@ fn report_key(report: &RunReport) -> Vec<(yashme::ReportKind, &'static str)> {
 
 fn main() {
     let mut workers = 4usize;
+    let mut fork = true;
     let mut out = String::from("BENCH_parallel.json");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--workers" => workers = args.next().and_then(|v| v.parse().ok()).unwrap_or(workers),
+            "--no-fork" => fork = false,
             "--out" => out = args.next().unwrap_or(out),
             _ => {}
         }
     }
-    let parallel_cfg = EngineConfig::with_workers(workers);
-    let sequential_cfg = EngineConfig::sequential();
+    let parallel_cfg = EngineConfig::with_workers(workers).with_fork(fork);
+    let sequential_cfg = EngineConfig::sequential().with_fork(fork);
 
     println!("Parallel engine benchmark: sequential vs {workers} workers");
     println!();

@@ -80,23 +80,39 @@ pub const HARNESS_SEED: u64 = 15;
 /// Engine configuration from the command line: `--workers N` (also
 /// `--workers=N`; `0` or `auto` = one worker per CPU) overrides the
 /// `YASHME_WORKERS` environment variable; with neither set the harness
-/// runs sequentially. Reports are identical at every worker count.
+/// runs sequentially. `--no-fork` disables checkpoint/fork crash-point
+/// exploration (full re-execution per crash point; same report, slower).
+/// Reports are identical at every worker count and in both fork modes.
 pub fn cli_engine_config() -> EngineConfig {
+    let mut config = None;
+    let mut fork = true;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
+        if arg == "--no-fork" {
+            fork = false;
+            continue;
+        }
         let value = if arg == "--workers" {
             args.next()
         } else {
             arg.strip_prefix("--workers=").map(str::to_owned)
         };
         if let Some(v) = value {
-            if v.eq_ignore_ascii_case("auto") {
-                return EngineConfig::with_workers(0);
-            }
-            return EngineConfig::with_workers(v.parse().unwrap_or(1));
+            config = Some(if v.eq_ignore_ascii_case("auto") {
+                EngineConfig::with_workers(0)
+            } else {
+                EngineConfig::with_workers(v.parse().unwrap_or(1))
+            });
         }
     }
-    EngineConfig::from_env()
+    let config = config.unwrap_or_else(EngineConfig::from_env);
+    // Only apply an explicit `--no-fork`; otherwise keep whatever the
+    // config already says (e.g. `YASHME_FORK=0` via `from_env`).
+    if fork {
+        config
+    } else {
+        config.with_fork(false)
+    }
 }
 
 /// True when the process arguments contain the flag verbatim (e.g.

@@ -18,8 +18,8 @@ use rand::{Rng, SeedableRng};
 
 use crate::ctx::spawn_task;
 use crate::mem::{MemState, PersistencePolicy};
-use crate::report::{RaceReport, RunReport};
-use crate::sched::{Core, SchedPolicy, Shared};
+use crate::report::{ForkStats, RaceReport, RunReport};
+use crate::sched::{Core, CrashCtl, SchedPolicy, Shared, Snapshot, SnapshotLog};
 use crate::sink::{EventSink, NullSink, SpanTraceSink};
 use crate::Program;
 
@@ -92,6 +92,16 @@ pub struct EngineConfig {
     /// count — into [`RunReport::trace`](crate::RunReport::trace). When
     /// off, sinks are used unwrapped and no trace state is allocated.
     pub trace: bool,
+    /// Checkpoint/fork crash-point exploration (on by default).
+    ///
+    /// In model-checking mode the engine runs the deterministic pre-crash
+    /// schedule once, captures a copy-on-write snapshot of the full
+    /// simulator state at every crash point, and resumes only the
+    /// post-crash continuation from each snapshot — O(prefix + Σ suffixes)
+    /// instead of O(points × full run). The aggregated [`RunReport`] is
+    /// byte-identical either way; switch off via `--no-fork` /
+    /// `YASHME_FORK=0` to compare or to debug a full re-execution.
+    pub fork: bool,
 }
 
 impl Default for EngineConfig {
@@ -99,6 +109,7 @@ impl Default for EngineConfig {
         EngineConfig {
             workers: 1,
             trace: false,
+            fork: true,
         }
     }
 }
@@ -123,15 +134,31 @@ impl EngineConfig {
         self
     }
 
-    /// Reads the `YASHME_WORKERS` environment variable: a worker count, or
-    /// `auto`/`0` for one worker per available CPU. Unset or unparsable
-    /// values fall back to sequential execution.
+    /// Returns a copy with checkpoint/fork exploration switched on or off.
+    pub fn with_fork(mut self, fork: bool) -> Self {
+        self.fork = fork;
+        self
+    }
+
+    /// Reads engine configuration from the environment:
+    ///
+    /// * `YASHME_WORKERS` — a worker count, or `auto`/`0` for one worker per
+    ///   available CPU. Unset or unparsable values fall back to sequential
+    ///   execution.
+    /// * `YASHME_FORK` — `0`/`false`/`off` disables checkpoint/fork
+    ///   exploration (any other value, or unset, leaves it on).
     pub fn from_env() -> Self {
-        match std::env::var("YASHME_WORKERS") {
+        let mut config = match std::env::var("YASHME_WORKERS") {
             Ok(v) if v.eq_ignore_ascii_case("auto") => EngineConfig::with_workers(0),
             Ok(v) => EngineConfig::with_workers(v.parse().unwrap_or(1)),
             Err(_) => EngineConfig::default(),
+        };
+        if let Ok(v) = std::env::var("YASHME_FORK") {
+            if v == "0" || v.eq_ignore_ascii_case("false") || v.eq_ignore_ascii_case("off") {
+                config.fork = false;
+            }
         }
+        config
     }
 
     /// The effective pool size: `workers`, with `0` resolved to the number
@@ -161,6 +188,8 @@ pub struct SingleRun {
     /// Span trace of the run, when the sink recorded one
     /// ([`EngineConfig::trace`]).
     pub trace: Option<obs::TraceBuf>,
+    /// Checkpoint/fork bookkeeping (zero for full re-executions).
+    pub fork: ForkStats,
 }
 
 /// Builds a fresh event sink for each simulated run. `Sync` because the
@@ -208,6 +237,46 @@ impl ReportSet {
     }
 }
 
+/// Merges per-run outcomes in run order: stats, trace lanes, de-duplicated
+/// reports, panics, fork counters, and the execution count all absorb
+/// through one path, so every mode accounts its runs (including the
+/// profiling run) identically.
+struct RunAccumulator {
+    races: ReportSet,
+    panics: Vec<String>,
+    executions: usize,
+    stats: crate::mem::ExecStats,
+    fork: ForkStats,
+    /// Trace lanes fill in run order (profile first, then crash targets)
+    /// — never in worker-completion order — so the merged trace is
+    /// byte-identical at every worker count.
+    trace: Option<obs::RunTrace>,
+}
+
+impl RunAccumulator {
+    fn new(trace: bool) -> Self {
+        RunAccumulator {
+            races: ReportSet::default(),
+            panics: Vec::new(),
+            executions: 0,
+            stats: crate::mem::ExecStats::default(),
+            fork: ForkStats::default(),
+            trace: trace.then(obs::RunTrace::new),
+        }
+    }
+
+    fn absorb_run(&mut self, mut run: SingleRun) {
+        self.executions += 1;
+        self.stats.absorb(&run.stats);
+        self.fork.absorb(&run.fork);
+        if let Some(t) = self.trace.as_mut() {
+            t.push_run(run.trace.take().unwrap_or_default());
+        }
+        self.races.merge(run.reports);
+        self.panics.extend(run.panics);
+    }
+}
+
 /// The execution engine.
 ///
 /// See the crate docs for an end-to-end example; the highest-level entry
@@ -236,67 +305,89 @@ impl Engine {
     ) -> RunReport {
         let start = Instant::now();
         let workers = config.resolved_workers();
-        let mut races = ReportSet::default();
-        let mut all_panics: Vec<String> = Vec::new();
-        let mut executions = 0usize;
-        let mut stats = crate::mem::ExecStats::default();
-        // Trace lanes fill in run order (profile first, then crash targets)
-        // — never in worker-completion order — so the merged trace is
-        // byte-identical at every worker count.
-        let mut trace = config.trace.then(obs::RunTrace::new);
+        let mut acc = RunAccumulator::new(config.trace);
         let mut queue_depth = obs::Histogram::new();
         let crash_points;
 
         match mode {
             ExecMode::ModelCheck(cfg) => {
                 // Profiling run: no injected crash (every phase runs to its
-                // end-of-phase crash); counts the crash points per phase.
+                // end-of-phase crash); counts the crash points per phase. In
+                // fork mode it additionally captures a snapshot at every
+                // crash point of the targeted phases — the deterministic
+                // schedule makes each snapshot exactly the state a full run
+                // with that crash target reaches at its injection point.
                 let profile_spec = RunSpec {
                     policy: SchedPolicy::Deterministic,
                     persistence: PersistencePolicy::FullCache,
                     seed: 0,
                     crash_target: None,
                 };
-                let mut profile =
-                    Self::run_spec(program, profile_spec, Self::make_sink(sink_factory, config));
+                let capture_phases = if config.fork {
+                    1 + usize::from(cfg.crash_in_recovery)
+                } else {
+                    0
+                };
+                let (profile, _, log) = Self::run_inner(
+                    program,
+                    profile_spec.policy,
+                    profile_spec.persistence,
+                    profile_spec.seed,
+                    None,
+                    Self::make_sink(sink_factory, config),
+                    Vec::new(),
+                    capture_phases,
+                );
                 crash_points = profile.points.iter().sum();
-                executions += 1;
                 let phase0_points = profile.points.first().copied().unwrap_or(0);
                 let phase1_points = profile.points.get(1).copied().unwrap_or(0);
-                stats.absorb(&profile.stats);
-                if let Some(t) = trace.as_mut() {
-                    t.push_run(profile.trace.take().unwrap_or_default());
-                }
-                races.merge(profile.reports);
-                all_panics.extend(profile.panics);
+                let profile_points = profile.points.clone();
+                acc.absorb_run(profile);
 
-                // Fan out one run per crash target, in target order.
-                let mut specs: Vec<RunSpec> = (0..phase0_points)
-                    .map(|t| RunSpec {
-                        crash_target: Some((0, t)),
-                        ..profile_spec
-                    })
-                    .collect();
+                // One run per crash target, in target order.
+                let mut targets: Vec<(usize, usize)> = (0..phase0_points).map(|t| (0, t)).collect();
                 if cfg.crash_in_recovery {
-                    specs.extend((0..phase1_points).map(|t| RunSpec {
-                        crash_target: Some((1, t)),
-                        ..profile_spec
-                    }));
+                    targets.extend((0..phase1_points).map(|t| (1, t)));
                 }
-                Self::sample_queue_depth(&mut queue_depth, specs.len());
-                for mut run in Self::run_specs(program, specs, sink_factory, workers, config) {
-                    executions += 1;
-                    stats.absorb(&run.stats);
-                    if let Some(t) = trace.as_mut() {
-                        t.push_run(run.trace.take().unwrap_or_default());
+                Self::sample_queue_depth(&mut queue_depth, targets.len());
+                // Resume from snapshots when the profiling run captured one
+                // per target; otherwise (fork disabled, or the sink cannot
+                // fork) fall back to one full re-execution per target.
+                let snaps = log.filter(|l| !l.unsupported && l.snaps.len() == targets.len());
+                match snaps {
+                    Some(log) => {
+                        acc.fork.snapshots += log.snaps.len() as u64;
+                        let runs = Self::fan_out(log.snaps, workers, |snap| {
+                            Self::resume_run(
+                                program,
+                                snap,
+                                &profile_points,
+                                profile_spec.persistence,
+                            )
+                        });
+                        for run in runs {
+                            acc.absorb_run(run);
+                        }
                     }
-                    races.merge(run.reports);
-                    all_panics.extend(run.panics);
+                    None => {
+                        let specs: Vec<RunSpec> = targets
+                            .iter()
+                            .map(|&(p, t)| RunSpec {
+                                crash_target: Some((p, t)),
+                                ..profile_spec
+                            })
+                            .collect();
+                        for run in Self::run_specs(program, specs, sink_factory, workers, config) {
+                            acc.absorb_run(run);
+                        }
+                    }
                 }
             }
             ExecMode::Random(cfg) => {
-                // One profiling run estimates the crash-point count.
-                let mut profile = Self::run_spec(
+                // One profiling run estimates the crash-point count; it is a
+                // full simulated run and its reports, panics, and execution
+                // count all land in the aggregate like any other run.
+                let profile = Self::run_spec(
                     program,
                     RunSpec {
                         policy: SchedPolicy::RandomChoice,
@@ -307,11 +398,8 @@ impl Engine {
                     Self::make_sink(sink_factory, config),
                 );
                 crash_points = profile.points.iter().sum();
-                stats.absorb(&profile.stats);
-                if let Some(t) = trace.as_mut() {
-                    t.push_run(profile.trace.take().unwrap_or_default());
-                }
                 let est = profile.points.first().copied().unwrap_or(0);
+                acc.absorb_run(profile);
                 // Seeds and crash targets are drawn up front so the
                 // schedule of draws — and hence every run — is identical
                 // however the runs are distributed over workers.
@@ -336,18 +424,20 @@ impl Engine {
                     })
                     .collect();
                 Self::sample_queue_depth(&mut queue_depth, specs.len());
-                for mut run in Self::run_specs(program, specs, sink_factory, workers, config) {
-                    executions += 1;
-                    stats.absorb(&run.stats);
-                    if let Some(t) = trace.as_mut() {
-                        t.push_run(run.trace.take().unwrap_or_default());
-                    }
-                    races.merge(run.reports);
-                    all_panics.extend(run.panics);
+                for run in Self::run_specs(program, specs, sink_factory, workers, config) {
+                    acc.absorb_run(run);
                 }
             }
         }
 
+        let RunAccumulator {
+            races,
+            panics,
+            executions,
+            stats,
+            fork,
+            mut trace,
+        } = acc;
         if let Some(t) = trace.as_mut() {
             // Coordinator lane: one Merge-phase span whose virtual clock
             // ticks once per merged run — timing in "runs", not wall time.
@@ -374,9 +464,10 @@ impl Engine {
             races.into_sorted(),
             executions,
             crash_points,
-            all_panics,
+            panics,
             start.elapsed(),
             stats,
+            fork,
             queue_depth,
             trace,
         )
@@ -500,6 +591,7 @@ impl Engine {
             crash_target,
             sink,
             Vec::new(),
+            0,
         )
         .0
     }
@@ -542,7 +634,7 @@ impl Engine {
         workers: usize,
     ) -> Vec<(SingleRun, Vec<(usize, usize)>)> {
         Self::fan_out(scripts.to_vec(), workers, |script| {
-            Self::run_inner(
+            let (run, log, _) = Self::run_inner(
                 program,
                 SchedPolicy::Scripted,
                 PersistencePolicy::FullCache,
@@ -550,7 +642,9 @@ impl Engine {
                 crash_target,
                 sink_factory(),
                 script,
-            )
+                0,
+            );
+            (run, log)
         })
     }
 
@@ -599,8 +693,10 @@ impl Engine {
             .collect()
     }
 
-    /// [`Engine::run_single`] plus schedule scripting: returns the branch
-    ///-point choice log alongside the outcome.
+    /// [`Engine::run_single`] plus schedule scripting and snapshot capture:
+    /// returns the branch-point choice log and (when `capture_phases > 0`)
+    /// the snapshot log alongside the outcome.
+    #[allow(clippy::too_many_arguments)]
     fn run_inner(
         program: &Program,
         policy: SchedPolicy,
@@ -609,56 +705,148 @@ impl Engine {
         crash_target: Option<(usize, usize)>,
         sink: Box<dyn EventSink>,
         script: Vec<usize>,
-    ) -> (SingleRun, Vec<(usize, usize)>) {
+        capture_phases: usize,
+    ) -> (SingleRun, Vec<(usize, usize)>, Option<SnapshotLog>) {
         install_quiet_panic_hook();
         let mem = MemState::new(program.compiler(), program.heap_bytes());
         let shared = Arc::new(Shared::new(mem, sink, policy, StdRng::seed_from_u64(seed)));
-        shared.with_core(|core| core.sched.script = script);
+        shared.with_core(|core| {
+            core.sched.script = script;
+            core.snaplog = (capture_phases > 0).then(|| SnapshotLog::new(capture_phases));
+        });
         let mut points = Vec::with_capacity(program.phases().len());
 
         for (i, phase) in program.phases().iter().enumerate() {
-            shared.with_core(|core| {
-                core.crash.seen = 0;
-                core.crash.target = match crash_target {
-                    Some((p, idx)) if p == i => Some(idx),
-                    _ => None,
-                };
-                core.sched.crashed = false;
-                let exec = core.mem.cur.id;
-                core.sink.on_execution_start(exec);
-            });
-            let tid = shared.with_core(|core| {
-                let t = core.mem.register_thread(None);
-                core.sched.register(t);
-                t
-            });
-            let body = phase.clone();
-            spawn_task(shared.clone(), tid, move |ctx| body(ctx));
-            shared.wait_all_tasks();
-            shared.with_core(|core| {
-                points.push(core.crash.seen);
-                if !core.sched.crashed {
-                    // End-of-phase power loss.
-                    let exec = core.mem.cur.id;
-                    core.sink.on_crash(exec);
-                }
-                let Core { mem, rng, .. } = core;
-                mem.crash(persistence, rng);
-            });
+            let target = match crash_target {
+                Some((p, idx)) if p == i => Some(idx),
+                _ => None,
+            };
+            Self::exec_phase(&shared, phase.clone(), i, target, persistence, &mut points);
         }
 
+        Self::finish_run(&shared, points)
+    }
+
+    /// Runs one phase against the shared core: prologue (crash-control
+    /// reset, execution-start event), the simulated task, and epilogue
+    /// (crash-point accounting, end-of-phase power loss, image
+    /// materialization).
+    fn exec_phase(
+        shared: &Arc<Shared>,
+        body: crate::program::PhaseFn,
+        index: usize,
+        crash_target: Option<usize>,
+        persistence: PersistencePolicy,
+        points: &mut Vec<usize>,
+    ) {
         shared.with_core(|core| {
+            core.crash.seen = 0;
+            core.crash.target = crash_target;
+            core.sched.crashed = false;
+            if let Some(log) = core.snaplog.as_mut() {
+                log.phase = index;
+            }
+            let exec = core.mem.cur.id;
+            core.sink.on_execution_start(exec);
+        });
+        let tid = shared.with_core(|core| {
+            let t = core.mem.register_thread(None);
+            core.sched.register(t);
+            t
+        });
+        spawn_task(shared.clone(), tid, move |ctx| body(ctx));
+        shared.wait_all_tasks();
+        shared.with_core(|core| {
+            points.push(core.crash.seen);
+            if !core.sched.crashed {
+                // End-of-phase power loss.
+                let exec = core.mem.cur.id;
+                core.sink.on_crash(exec);
+            }
+            let Core { mem, rng, .. } = core;
+            mem.crash(persistence, rng);
+        });
+    }
+
+    /// Drains the core into a [`SingleRun`] after the last phase.
+    fn finish_run(
+        shared: &Arc<Shared>,
+        points: Vec<usize>,
+    ) -> (SingleRun, Vec<(usize, usize)>, Option<SnapshotLog>) {
+        shared.with_core(|core| {
+            let (cow_clones, cow_bytes) = core.mem.cow_stats();
             (
                 SingleRun {
                     reports: core.sink.drain_reports(),
                     panics: std::mem::take(&mut core.panics),
-                    points: std::mem::take(&mut points),
+                    points,
                     stats: core.mem.stats,
                     trace: core.sink.drain_trace(),
+                    fork: ForkStats {
+                        cow_clones,
+                        cow_bytes,
+                        ..ForkStats::default()
+                    },
                 },
                 std::mem::take(&mut core.sched.choice_log),
+                core.snaplog.take(),
             )
         })
+    }
+
+    /// Resumes a post-crash continuation from one snapshot of the profiling
+    /// run: replays the injected-crash tail (store-buffer drain, crash
+    /// event, image materialization) exactly as a full run targeting this
+    /// crash point performs it inside its crash handler, then runs the
+    /// remaining phases. The prefix — every event before the crash point —
+    /// is never re-executed; its effects (and its logical operation counts,
+    /// carried in the snapshot's `MemState::stats`) ride along from the
+    /// snapshot, which is what keeps the aggregated report byte-identical
+    /// to full re-execution.
+    fn resume_run(
+        program: &Program,
+        snap: Snapshot,
+        profile_points: &[usize],
+        persistence: PersistencePolicy,
+    ) -> SingleRun {
+        install_quiet_panic_hook();
+        let Snapshot {
+            phase,
+            point,
+            mem,
+            sink,
+            sched,
+            rng,
+            panics,
+        } = snap;
+        let prefix_events = mem.stats.events();
+        let shared = Arc::new(Shared::from_parts(Core {
+            mem,
+            sink,
+            sched,
+            crash: CrashCtl::default(),
+            rng,
+            panics,
+            snaplog: None,
+        }));
+        // Phases before the crashed phase ran to completion in the prefix.
+        let mut points: Vec<usize> = profile_points[..phase].to_vec();
+        shared.with_core(|core| {
+            let Core { mem, sink, rng, .. } = core;
+            mem.drain_all_sbs(sink.as_mut());
+            sink.on_crash(mem.cur.id);
+            mem.crash(persistence, rng);
+        });
+        // The injected crash counts its own point before firing.
+        points.push(point + 1);
+        for (i, body) in program.phases().iter().enumerate().skip(phase + 1) {
+            Self::exec_phase(&shared, body.clone(), i, None, persistence, &mut points);
+        }
+        let (mut run, _, _) = Self::finish_run(&shared, points);
+        run.fork.resumed_runs = 1;
+        run.fork.prefix_events_skipped = prefix_events;
+        run.fork.suffix_events = run.stats.events().saturating_sub(prefix_events);
+        run
     }
 }
 

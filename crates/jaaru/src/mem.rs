@@ -12,7 +12,7 @@
 use std::collections::{HashMap, HashSet};
 
 use compiler_model::CompilerConfig;
-use pmem::{Addr, CacheLineId, PmAllocator, PmImage, ProvenanceMap};
+use pmem::{Addr, CacheLineId, Forkable, PmAllocator, PmImage, ProvenanceMap};
 use px86::{Atomicity, FbEntry, FlushBuffer, SbEntry, SbStore, StoreBuffer};
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -69,12 +69,24 @@ impl ExecState {
     }
 }
 
+impl Forkable for ExecState {
+    fn fork(&self) -> Self {
+        ExecState {
+            id: self.id,
+            cache: self.cache.fork(),
+            store_map: self.store_map.fork(),
+            line_order: self.line_order.clone(),
+            persisted_upto: self.persisted_upto.clone(),
+        }
+    }
+}
+
 /// Dense store-event table indexed by [`EventId`]. Ids come from the
 /// shared per-run counter (which also numbers flushes and fences) and are
 /// never reused, so a slot-per-id vector turns the hottest lookups — load
 /// segments, acquire joins, candidate scans, commits — into a bounds-checked
 /// array index instead of a hash probe.
-#[derive(Default)]
+#[derive(Default, Clone)]
 struct EventTable {
     slots: Vec<Option<StoreEvent>>,
     stores: usize,
@@ -148,6 +160,37 @@ pub struct MemState {
     pub stats: ExecStats,
 }
 
+impl Forkable for MemState {
+    /// Captures this memory system for later resumption.
+    ///
+    /// Line slabs and buffer queues are shared copy-on-write; per-event
+    /// bookkeeping (the event table, flush map, vector clocks, line orders)
+    /// is cloned outright — it is proportional to the events executed so
+    /// far, not to the bytes of simulated PM. The bypass scratch buffer is
+    /// transient load-path state and starts empty in the fork.
+    fn fork(&self) -> Self {
+        MemState {
+            compiler: self.compiler,
+            events: self.events.clone(),
+            flushes: self.flushes.clone(),
+            next_event: self.next_event,
+            next_seq: self.next_seq,
+            sbs: self.sbs.iter().map(Forkable::fork).collect(),
+            fbs: self.fbs.iter().map(Forkable::fork).collect(),
+            cvs: self.cvs.clone(),
+            clwb_marks: self.clwb_marks.clone(),
+            fence_cvs: self.fence_cvs.clone(),
+            cur: self.cur.fork(),
+            past: self.past.iter().map(Forkable::fork).collect(),
+            image: self.image.fork(),
+            image_prov: self.image_prov.fork(),
+            bypass_scratch: Vec::new(),
+            alloc: self.alloc.clone(),
+            stats: self.stats,
+        }
+    }
+}
+
 impl std::fmt::Debug for MemState {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("MemState")
@@ -201,6 +244,19 @@ impl ExecStats {
         self.bytes_from_image += other.bytes_from_image;
         self.candidate_stores_scanned += other.candidate_stores_scanned;
     }
+
+    /// Total simulated events (instructions plus commits) counted by this
+    /// stats block — the work measure used to compare fork mode against full
+    /// replay.
+    pub fn events(&self) -> u64 {
+        self.stores_executed
+            + self.stores_committed
+            + self.loads
+            + self.flushes
+            + self.fences
+            + self.cas_ops
+            + self.crashes
+    }
 }
 
 /// The outcome of a load: the bytes read plus the cross-execution reads that
@@ -236,6 +292,41 @@ impl MemState {
             alloc: PmAllocator::new(Addr::BASE + ROOT_REGION_BYTES, heap_bytes),
             stats: ExecStats::default(),
         }
+    }
+
+    /// Number of threads ever registered (across executions).
+    pub fn thread_count(&self) -> usize {
+        self.cvs.len()
+    }
+
+    /// Total copy-on-write clone traffic across every COW container held by
+    /// this memory system: `(clones, bytes copied)`.
+    pub fn cow_stats(&self) -> (u64, u64) {
+        let mut clones = 0u64;
+        let mut bytes = 0u64;
+        let images = [&self.image, &self.cur.cache]
+            .into_iter()
+            .chain(self.past.iter().map(|e| &e.cache));
+        for img in images {
+            clones += img.cow_clones();
+            bytes += img.cow_bytes();
+        }
+        let provs = [&self.image_prov, &self.cur.store_map]
+            .into_iter()
+            .chain(self.past.iter().map(|e| &e.store_map));
+        for prov in provs {
+            clones += prov.cow_clones();
+            bytes += prov.cow_bytes();
+        }
+        for sb in &self.sbs {
+            clones += sb.cow_clones();
+            bytes += sb.cow_bytes();
+        }
+        for fb in &self.fbs {
+            clones += fb.cow_clones();
+            bytes += fb.cow_bytes();
+        }
+        (clones, bytes)
     }
 
     /// Registers a new thread; `parent` (if any) synchronizes-with the child.

@@ -181,6 +181,47 @@ impl fmt::Display for RaceReport {
     }
 }
 
+/// Counters describing the checkpoint/fork exploration of a run: how many
+/// snapshots were taken, how many runs resumed from one, the copy-on-write
+/// traffic those runs caused, and how much simulated work the fork skipped.
+///
+/// Kept apart from [`ExecStats`] — and out of [`RunReport::metrics`] — on
+/// purpose: fork counters describe the *physical* execution strategy, which
+/// differs between fork mode and full re-execution (and, for COW counts,
+/// between worker counts, since whichever side of a shared slab mutates
+/// first pays the clone). The logical [`RunReport`] must stay byte-identical
+/// across all of those, so the physical counters live here and surface
+/// through [`RunReport::fork_stats`] / [`RunReport::fork_metrics`] only.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ForkStats {
+    /// Snapshots captured by the profiling run (0 when fork mode is off or
+    /// fell back to full re-execution).
+    pub snapshots: u64,
+    /// Runs resumed from a snapshot instead of re-executing the prefix.
+    pub resumed_runs: u64,
+    /// Copy-on-write clones of shared line slabs / buffer queues.
+    pub cow_clones: u64,
+    /// Bytes copied by those clones.
+    pub cow_bytes: u64,
+    /// Simulated events that resumed runs did *not* re-execute (the summed
+    /// prefix work fork mode saved).
+    pub prefix_events_skipped: u64,
+    /// Simulated events resumed runs actually executed past their snapshot.
+    pub suffix_events: u64,
+}
+
+impl ForkStats {
+    /// Adds every counter of `other` into `self`.
+    pub fn absorb(&mut self, other: &ForkStats) {
+        self.snapshots += other.snapshots;
+        self.resumed_runs += other.resumed_runs;
+        self.cow_clones += other.cow_clones;
+        self.cow_bytes += other.cow_bytes;
+        self.prefix_events_skipped += other.prefix_events_skipped;
+        self.suffix_events += other.suffix_events;
+    }
+}
+
 /// Summary of a whole engine run (one or many executions).
 #[derive(Debug, Default)]
 pub struct RunReport {
@@ -190,6 +231,7 @@ pub struct RunReport {
     post_crash_panics: Vec<String>,
     elapsed: Duration,
     stats: ExecStats,
+    fork: ForkStats,
     dedup_hits: u64,
     queue_depth: Histogram,
     trace: Option<RunTrace>,
@@ -205,6 +247,7 @@ impl RunReport {
         post_crash_panics: Vec<String>,
         elapsed: Duration,
         stats: ExecStats,
+        fork: ForkStats,
         queue_depth: Histogram,
         trace: Option<RunTrace>,
     ) -> Self {
@@ -215,6 +258,7 @@ impl RunReport {
             post_crash_panics,
             elapsed,
             stats,
+            fork,
             dedup_hits,
             queue_depth,
             trace,
@@ -314,6 +358,36 @@ impl RunReport {
         }
         m
     }
+
+    /// Physical-strategy counters from checkpoint/fork exploration.
+    ///
+    /// Deliberately *not* part of [`metrics`](Self::metrics) or the JSON
+    /// report: these describe how the answer was computed (snapshots taken,
+    /// COW lines cloned, prefix events skipped), not what the answer is, and
+    /// they legitimately differ between fork mode and full re-execution and
+    /// across worker counts. All zeros when fork mode is off or unsupported.
+    pub fn fork_stats(&self) -> &ForkStats {
+        &self.fork
+    }
+
+    /// A separate registry for the fork-strategy counters, under the
+    /// `fork.*` names. Kept apart from [`metrics`](Self::metrics) so the
+    /// logical report stays byte-identical between fork mode and full
+    /// re-execution.
+    pub fn fork_metrics(&self) -> MetricsRegistry {
+        let mut m = MetricsRegistry::new();
+        let f = &self.fork;
+        m.add(obs::names::FORK_SNAPSHOTS, f.snapshots);
+        m.add(obs::names::FORK_RESUMED_RUNS, f.resumed_runs);
+        m.add(obs::names::FORK_COW_CLONES, f.cow_clones);
+        m.add(obs::names::FORK_COW_BYTES, f.cow_bytes);
+        m.add(
+            obs::names::FORK_PREFIX_EVENTS_SKIPPED,
+            f.prefix_events_skipped,
+        );
+        m.add(obs::names::FORK_SUFFIX_EVENTS, f.suffix_events);
+        m
+    }
 }
 
 impl fmt::Display for RunReport {
@@ -363,6 +437,7 @@ mod tests {
             vec![],
             Duration::from_millis(1),
             ExecStats::default(),
+            ForkStats::default(),
             Histogram::new(),
             None,
         );

@@ -12,6 +12,7 @@
 use std::collections::HashMap;
 
 use parking_lot::{Condvar, Mutex};
+use pmem::Forkable;
 use rand::rngs::StdRng;
 use rand::Rng;
 use vclock::ThreadId;
@@ -129,6 +130,33 @@ impl Sched {
     }
 }
 
+impl Forkable for Sched {
+    /// Captures the scheduler as seen by a post-crash resumption.
+    ///
+    /// A snapshot is taken *at* a crash point, and a resumed run starts where
+    /// the corresponding full run stands after its injected crash: every
+    /// prefix task has unwound (`Finished`, `active == 0`) and the run is
+    /// marked crashed. The token is deliberately not carried over — with no
+    /// active task it is unobservable, and the next phase's `register` resets
+    /// it when `active` goes 0 → 1.
+    fn fork(&self) -> Self {
+        Sched {
+            token: self.token,
+            tasks: self
+                .tasks
+                .keys()
+                .map(|&t| (t, TaskState::Finished))
+                .collect(),
+            active: 0,
+            crashed: true,
+            policy: self.policy,
+            script: self.script.clone(),
+            cursor: self.cursor,
+            choice_log: self.choice_log.clone(),
+        }
+    }
+}
+
 /// Crash-injection control: counts crash points and triggers at the target.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct CrashCtl {
@@ -147,6 +175,50 @@ impl CrashCtl {
     }
 }
 
+/// A captured resume point: the full simulator state at one crash point of
+/// the profiling run, from which the engine replays only the post-crash
+/// continuation.
+pub(crate) struct Snapshot {
+    /// Phase index the crash point lies in.
+    pub phase: usize,
+    /// Phase-local crash-point index (`CrashCtl::seen` at capture).
+    pub point: usize,
+    pub mem: MemState,
+    pub sink: Box<dyn EventSink>,
+    pub sched: Sched,
+    pub rng: StdRng,
+    pub panics: Vec<String>,
+}
+
+/// Snapshot collection plugged into the profiling run's [`Core`].
+///
+/// Capture happens inside [`Shared::crash_point`], *before* the point is
+/// counted — exactly the state a full run with `crash_target == point`
+/// would have reached, since the deterministic pre-crash schedule is
+/// bit-reproducible.
+pub(crate) struct SnapshotLog {
+    /// Snapshots are taken only in phases `0..capture_phases` (the phases
+    /// crash targets are injected into).
+    pub capture_phases: usize,
+    /// Current phase index, maintained by the engine's phase prologue.
+    pub phase: usize,
+    pub snaps: Vec<Snapshot>,
+    /// Set when the sink cannot fork; the engine then falls back to full
+    /// re-execution.
+    pub unsupported: bool,
+}
+
+impl SnapshotLog {
+    pub fn new(capture_phases: usize) -> Self {
+        SnapshotLog {
+            capture_phases,
+            phase: 0,
+            snaps: Vec::new(),
+            unsupported: false,
+        }
+    }
+}
+
 /// Everything shared between simulated tasks and the engine host.
 pub(crate) struct Core {
     pub mem: MemState,
@@ -156,6 +228,8 @@ pub(crate) struct Core {
     pub rng: StdRng,
     /// Panic messages from simulated-task code (post-crash symptoms).
     pub panics: Vec<String>,
+    /// Snapshot collection, installed only for a profiling run in fork mode.
+    pub snaplog: Option<SnapshotLog>,
 }
 
 /// The shared handle: a mutex-protected [`Core`] plus its condvar.
@@ -174,7 +248,17 @@ impl Shared {
                 crash: CrashCtl::default(),
                 rng,
                 panics: Vec::new(),
+                snaplog: None,
             }),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Rebuilds a shared handle around an already-populated core (resuming
+    /// from a [`Snapshot`]).
+    pub fn from_parts(core: Core) -> Self {
+        Shared {
+            core: Mutex::new(core),
             cond: Condvar::new(),
         }
     }
@@ -270,6 +354,7 @@ impl Shared {
             drop(core);
             std::panic::panic_any(CrashUnwind);
         }
+        Self::maybe_snapshot(&mut core);
         if core.crash.hit() {
             if core.sched.policy == SchedPolicy::Deterministic {
                 // Commit recently executed stores so the crash lands in the
@@ -283,6 +368,40 @@ impl Shared {
             self.cond.notify_all();
             drop(core);
             std::panic::panic_any(CrashUnwind);
+        }
+    }
+
+    /// Captures a [`Snapshot`] at the current crash point, if the core's
+    /// snapshot log wants one.
+    ///
+    /// Must run before [`CrashCtl::hit`] counts the point: the captured
+    /// state is then exactly what a full run targeting this point sees when
+    /// its injected crash fires.
+    fn maybe_snapshot(core: &mut Core) {
+        let Core {
+            mem,
+            sink,
+            sched,
+            crash,
+            rng,
+            panics,
+            snaplog,
+        } = core;
+        let Some(log) = snaplog else { return };
+        if log.unsupported || log.phase >= log.capture_phases {
+            return;
+        }
+        match sink.fork_sink() {
+            Some(fsink) => log.snaps.push(Snapshot {
+                phase: log.phase,
+                point: crash.seen,
+                mem: mem.fork(),
+                sink: fsink,
+                sched: sched.fork(),
+                rng: rng.clone(),
+                panics: panics.clone(),
+            }),
+            None => log.unsupported = true,
         }
     }
 

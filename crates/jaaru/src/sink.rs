@@ -90,6 +90,19 @@ pub trait EventSink: Send {
     fn drain_trace(&mut self) -> Option<obs::TraceBuf> {
         None
     }
+
+    /// Captures this sink's accumulated state as an independent copy, for
+    /// checkpoint/fork crash-point exploration: the engine snapshots the
+    /// sink at each crash point of the profiling run and resumes each
+    /// post-crash continuation against the copy.
+    ///
+    /// Returns `None` (the default) if the sink cannot be forked — e.g. it
+    /// writes through shared handles whose output would interleave between
+    /// forks. The engine then falls back to full re-execution, so a sink
+    /// without fork support is never wrong, only slower.
+    fn fork_sink(&self) -> Option<Box<dyn EventSink>> {
+        None
+    }
 }
 
 /// Boxed sinks forward every event — this is what lets the engine wrap a
@@ -140,6 +153,10 @@ impl<S: EventSink + ?Sized> EventSink for Box<S> {
     fn drain_trace(&mut self) -> Option<obs::TraceBuf> {
         (**self).drain_trace()
     }
+
+    fn fork_sink(&self) -> Option<Box<dyn EventSink>> {
+        (**self).fork_sink()
+    }
 }
 
 /// A sink that ignores every event: the plain Jaaru baseline used to measure
@@ -147,7 +164,11 @@ impl<S: EventSink + ?Sized> EventSink for Box<S> {
 #[derive(Debug, Default, Clone, Copy)]
 pub struct NullSink;
 
-impl EventSink for NullSink {}
+impl EventSink for NullSink {
+    fn fork_sink(&self) -> Option<Box<dyn EventSink>> {
+        Some(Box::new(NullSink))
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -239,10 +260,21 @@ impl<A: EventSink, B: EventSink> EventSink for TeeSink<A, B> {
             (a, b) => a.or(b),
         }
     }
+
+    fn fork_sink(&self) -> Option<Box<dyn EventSink>> {
+        // A tee forks only if both halves do.
+        let a = self.a.fork_sink()?;
+        let b = self.b.fork_sink()?;
+        Some(Box::new(TeeSink { a, b }))
+    }
 }
 
 /// Records a human-readable event trace — attach alongside a detector via
 /// [`TeeSink`] to see what an execution did.
+///
+/// Deliberately does **not** implement [`EventSink::fork_sink`]: lines are
+/// written through a shared handle, so forked copies would interleave their
+/// output. Attaching one makes the engine fall back to full re-execution.
 #[derive(Debug, Default)]
 pub struct TraceSink {
     lines: std::sync::Arc<std::sync::Mutex<Vec<String>>>,
@@ -394,6 +426,18 @@ impl<S: EventSink> EventSink for SpanTraceSink<S> {
             buf.absorb(inner);
         }
         Some(buf)
+    }
+
+    fn fork_sink(&self) -> Option<Box<dyn EventSink>> {
+        // The buffer's virtual clock and open spans travel with the fork, so
+        // a resumed run's trace continues exactly where the prefix left off.
+        let inner = self.inner.fork_sink()?;
+        Some(Box::new(SpanTraceSink {
+            inner,
+            buf: self.buf.clone(),
+            open_exec: self.open_exec,
+            open_detect: self.open_detect,
+        }))
     }
 }
 

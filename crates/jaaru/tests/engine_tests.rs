@@ -292,6 +292,43 @@ fn stats_count_operations() {
 }
 
 #[test]
+fn random_profile_run_counts_toward_totals() {
+    // Regression test: Random mode's profiling run is a full simulated run,
+    // so its reports, panics, and execution count must land in the aggregate.
+    // With zero requested executions the profile run is the *only* run —
+    // everything in the report has to come from it.
+    struct MarkerSink;
+    impl jaaru::EventSink for MarkerSink {
+        fn drain_reports(&mut self) -> Vec<jaaru::RaceReport> {
+            vec![jaaru::RaceReport::new(
+                jaaru::ReportKind::PersistencyRace,
+                "marker",
+                pmem::Addr(0x10),
+                0,
+                1,
+                vclock::ThreadId::MAIN,
+                "from profile run",
+            )]
+        }
+    }
+    let program = Program::new("profile-only")
+        .pre_crash(|ctx: &mut Ctx| {
+            let a = ctx.root();
+            ctx.store_u64(a, 1, Atomicity::Plain, "x");
+            ctx.clflush(a);
+            ctx.sfence();
+        })
+        .post_crash(|_ctx: &mut Ctx| panic!("post-crash symptom"));
+    let report = Engine::run(&program, jaaru::ExecMode::random(0, 7), &|| {
+        Box::new(MarkerSink)
+    });
+    assert_eq!(report.executions(), 1, "the profile run counts");
+    assert_eq!(report.race_labels(), vec!["marker"]);
+    assert_eq!(report.post_crash_panics().len(), 1);
+    assert!(report.post_crash_panics()[0].contains("post-crash symptom"));
+}
+
+#[test]
 fn fetch_add_is_atomic_across_threads() {
     let total = Arc::new(AtomicUsize::new(0));
     let t = total.clone();

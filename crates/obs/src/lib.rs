@@ -84,6 +84,18 @@ pub mod names {
     pub const TRACE_EVENTS: &str = "trace.events";
     /// Spans recorded across all run lanes.
     pub const TRACE_SPANS: &str = "trace.spans";
+    /// Snapshots captured at crash points during the profile run.
+    pub const FORK_SNAPSHOTS: &str = "fork.snapshots";
+    /// Target executions resumed from a snapshot instead of replayed in full.
+    pub const FORK_RESUMED_RUNS: &str = "fork.resumed_runs";
+    /// Copy-on-write clones of shared lines / queues forced by mutation.
+    pub const FORK_COW_CLONES: &str = "fork.cow_clones";
+    /// Bytes physically copied by those copy-on-write clones.
+    pub const FORK_COW_BYTES: &str = "fork.cow_bytes";
+    /// Pre-crash prefix events inherited from snapshots rather than re-executed.
+    pub const FORK_PREFIX_EVENTS_SKIPPED: &str = "fork.prefix_events_skipped";
+    /// Post-crash suffix events actually executed by resumed runs.
+    pub const FORK_SUFFIX_EVENTS: &str = "fork.suffix_events";
 }
 
 #[cfg(test)]
@@ -109,6 +121,12 @@ mod tests {
             super::names::ENGINE_QUEUE_DEPTH,
             super::names::TRACE_EVENTS,
             super::names::TRACE_SPANS,
+            super::names::FORK_SNAPSHOTS,
+            super::names::FORK_RESUMED_RUNS,
+            super::names::FORK_COW_CLONES,
+            super::names::FORK_COW_BYTES,
+            super::names::FORK_PREFIX_EVENTS_SKIPPED,
+            super::names::FORK_SUFFIX_EVENTS,
         ];
         let set: std::collections::HashSet<_> = names.iter().collect();
         assert_eq!(set.len(), names.len());

@@ -1,0 +1,24 @@
+//! Copy-on-write forking of simulator state.
+//!
+//! Checkpoint/fork crash-point exploration runs the deterministic pre-crash
+//! schedule once and resumes each post-crash continuation from a snapshot
+//! taken at the crash point. Snapshots must therefore be cheap: the storage
+//! containers in this crate keep their per-line slabs behind [`std::sync::Arc`]
+//! so a fork is a refcount bump per line, and the first mutation of a shared
+//! line clones it (copy-on-write).
+
+/// A piece of simulator state that can be captured as a cheap, independent
+/// copy for later resumption.
+///
+/// `fork` differs from `Clone` in two ways:
+///
+/// * shared backing storage stays shared — mutation after the fork is
+///   copy-on-write, so forking is O(lines) refcount bumps rather than
+///   O(bytes) copies;
+/// * bookkeeping that describes the *forking process itself* (COW clone
+///   counters, scratch buffers) starts fresh in the child, so each resumed
+///   run reports only its own copy traffic.
+pub trait Forkable {
+    /// Returns an independent copy sharing backing storage copy-on-write.
+    fn fork(&self) -> Self;
+}

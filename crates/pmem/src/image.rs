@@ -1,8 +1,12 @@
 //! A byte image of the simulated persistent storage.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::addr::{Addr, CacheLineId, CACHE_LINE_SIZE};
+use crate::forkable::Forkable;
+
+type LineSlab = [u8; CACHE_LINE_SIZE as usize];
 
 /// The contents of persistent storage, as a sparse map of cache lines.
 ///
@@ -13,6 +17,12 @@ use crate::addr::{Addr, CacheLineId, CACHE_LINE_SIZE};
 ///
 /// Unwritten bytes read as zero, matching the convention that fresh
 /// persistent pools are zero-initialized.
+///
+/// Line slabs live behind [`Arc`] so that [`Forkable::fork`] is a refcount
+/// bump per line; the first write to a line shared with a fork clones that
+/// one slab (copy-on-write). An image that was never forked always holds
+/// uniquely-owned slabs, so the non-forking paths pay nothing beyond a
+/// refcount check.
 ///
 /// # Examples
 ///
@@ -25,7 +35,9 @@ use crate::addr::{Addr, CacheLineId, CACHE_LINE_SIZE};
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct PmImage {
-    lines: HashMap<CacheLineId, Box<[u8; CACHE_LINE_SIZE as usize]>>,
+    lines: HashMap<CacheLineId, Arc<LineSlab>>,
+    cow_clones: u64,
+    cow_bytes: u64,
 }
 
 impl PmImage {
@@ -45,7 +57,9 @@ impl PmImage {
             let line_off = at.line_offset() as usize;
             let take = (CACHE_LINE_SIZE as usize - line_off).min(buf.len() - off);
             match self.lines.get(&at.cache_line()) {
-                Some(line) => buf[off..off + take].copy_from_slice(&line[line_off..line_off + take]),
+                Some(line) => {
+                    buf[off..off + take].copy_from_slice(&line[line_off..line_off + take])
+                }
                 None => buf[off..off + take].fill(0),
             }
             off += take;
@@ -61,26 +75,29 @@ impl PmImage {
             let at = addr + off as u64;
             let line_off = at.line_offset() as usize;
             let take = (CACHE_LINE_SIZE as usize - line_off).min(data.len() - off);
-            let line = self
-                .lines
-                .entry(at.cache_line())
-                .or_insert_with(|| Box::new([0u8; CACHE_LINE_SIZE as usize]));
+            let line = self.line_mut(at.cache_line());
             line[line_off..line_off + take].copy_from_slice(&data[off..off + take]);
             off += take;
         }
     }
 
     /// Direct read access to one cache line's bytes, if ever written.
-    pub fn line(&self, line: CacheLineId) -> Option<&[u8; CACHE_LINE_SIZE as usize]> {
+    pub fn line(&self, line: CacheLineId) -> Option<&LineSlab> {
         self.lines.get(&line).map(|b| &**b)
     }
 
     /// Direct write access to one cache line's bytes, created zero-filled on
-    /// first touch.
-    pub fn line_mut(&mut self, line: CacheLineId) -> &mut [u8; CACHE_LINE_SIZE as usize] {
-        self.lines
+    /// first touch. A line shared with a fork is cloned first (COW).
+    pub fn line_mut(&mut self, line: CacheLineId) -> &mut LineSlab {
+        let slab = self
+            .lines
             .entry(line)
-            .or_insert_with(|| Box::new([0u8; CACHE_LINE_SIZE as usize]))
+            .or_insert_with(|| Arc::new([0u8; CACHE_LINE_SIZE as usize]));
+        if Arc::strong_count(slab) > 1 {
+            self.cow_clones += 1;
+            self.cow_bytes += CACHE_LINE_SIZE;
+        }
+        Arc::make_mut(slab)
     }
 
     /// Reads one byte.
@@ -93,11 +110,7 @@ impl PmImage {
 
     /// Writes one byte.
     pub fn write_u8(&mut self, addr: Addr, value: u8) {
-        let line = self
-            .lines
-            .entry(addr.cache_line())
-            .or_insert_with(|| Box::new([0u8; CACHE_LINE_SIZE as usize]));
-        line[addr.line_offset() as usize] = value;
+        self.line_mut(addr.cache_line())[addr.line_offset() as usize] = value;
     }
 
     /// Reads a little-endian `u16`.
@@ -149,6 +162,27 @@ impl PmImage {
     /// Removes all contents, returning the image to all-zero.
     pub fn clear(&mut self) {
         self.lines.clear();
+    }
+
+    /// Number of line slabs cloned by copy-on-write since construction (or
+    /// since this copy was forked).
+    pub fn cow_clones(&self) -> u64 {
+        self.cow_clones
+    }
+
+    /// Bytes copied by copy-on-write clones.
+    pub fn cow_bytes(&self) -> u64 {
+        self.cow_bytes
+    }
+}
+
+impl Forkable for PmImage {
+    fn fork(&self) -> Self {
+        PmImage {
+            lines: self.lines.clone(),
+            cow_clones: 0,
+            cow_bytes: 0,
+        }
     }
 }
 
@@ -224,5 +258,52 @@ mod tests {
         assert_eq!(img.read_u64(Addr(0)), 0x1234_5678);
         img.clear();
         assert!(img.is_empty());
+    }
+
+    #[test]
+    fn unforked_writes_never_cow() {
+        let mut img = PmImage::new();
+        for i in 0..32 {
+            img.write_u64(Addr(i * 8), i);
+        }
+        assert_eq!(img.cow_clones(), 0);
+        assert_eq!(img.cow_bytes(), 0);
+    }
+
+    #[test]
+    fn fork_shares_lines_until_written() {
+        let mut img = PmImage::new();
+        img.write_u64(Addr(0), 1);
+        img.write_u64(Addr(64), 2);
+        let mut child = img.fork();
+        assert_eq!(child.cow_clones(), 0);
+
+        // Writing a shared line in the child clones exactly that line and
+        // leaves the parent untouched.
+        child.write_u64(Addr(0), 9);
+        assert_eq!(child.cow_clones(), 1);
+        assert_eq!(child.cow_bytes(), CACHE_LINE_SIZE);
+        assert_eq!(child.read_u64(Addr(0)), 9);
+        assert_eq!(img.read_u64(Addr(0)), 1);
+
+        // The parent writing the *other* shared line also pays one clone.
+        img.write_u64(Addr(64), 7);
+        assert_eq!(img.cow_clones(), 1);
+        assert_eq!(child.read_u64(Addr(64)), 2);
+
+        // Rewriting a line that is no longer shared is free.
+        child.write_u64(Addr(0), 10);
+        assert_eq!(child.cow_clones(), 1);
+    }
+
+    #[test]
+    fn fork_sees_parent_state_and_new_lines_are_independent() {
+        let mut img = PmImage::new();
+        img.write_u64(Addr(0), 5);
+        let mut child = img.fork();
+        assert_eq!(child.read_u64(Addr(0)), 5);
+        child.write_u64(Addr(128), 6);
+        assert_eq!(img.read_u64(Addr(128)), 0);
+        assert_eq!(child.cow_clones(), 0, "fresh line is not a COW clone");
     }
 }

@@ -13,6 +13,8 @@
 //! * [`ProvenanceMap`] — per-byte store-event provenance kept as per-line
 //!   slabs, so the engine's storemap and image provenance resolve a whole
 //!   cache line with one lookup,
+//! * [`Forkable`] — cheap copy-on-write forking of the storage containers,
+//!   used by the engine's checkpoint/fork crash-point exploration,
 //! * [`StructLayout`] — a helper for laying out C-style structs in simulated
 //!   PM with natural field alignment, so benchmark ports can mirror the
 //!   field-level layout (and cache-line co-residency) of the original C++
@@ -33,12 +35,14 @@
 
 mod addr;
 mod alloc;
+mod forkable;
 mod image;
 mod layout;
 mod prov;
 
 pub use addr::{Addr, CacheLineId, CACHE_LINE_SIZE};
 pub use alloc::{AllocError, PmAllocator};
+pub use forkable::Forkable;
 pub use image::PmImage;
 pub use layout::{Field, StructLayout};
 pub use prov::{ProvId, ProvLine, ProvenanceMap};

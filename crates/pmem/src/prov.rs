@@ -10,8 +10,11 @@
 //! the paper's Jaaru infrastructure (§6).
 
 use std::collections::HashMap;
+use std::mem::size_of;
+use std::sync::Arc;
 
 use crate::addr::{Addr, CacheLineId, CACHE_LINE_SIZE};
+use crate::forkable::Forkable;
 
 /// An event identifier as stored by the provenance map.
 ///
@@ -25,6 +28,9 @@ pub type ProvLine = [ProvId; CACHE_LINE_SIZE as usize];
 /// A sparse map from bytes to originating event ids, stored as per-line
 /// slabs.
 ///
+/// Like [`crate::PmImage`], slabs sit behind [`Arc`] so forking a map is a
+/// refcount bump per line and mutation of a shared slab is copy-on-write.
+///
 /// # Examples
 ///
 /// ```
@@ -36,7 +42,9 @@ pub type ProvLine = [ProvId; CACHE_LINE_SIZE as usize];
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct ProvenanceMap {
-    lines: HashMap<CacheLineId, Box<ProvLine>>,
+    lines: HashMap<CacheLineId, Arc<ProvLine>>,
+    cow_clones: u64,
+    cow_bytes: u64,
 }
 
 impl ProvenanceMap {
@@ -78,11 +86,17 @@ impl ProvenanceMap {
     }
 
     /// Direct write access to one line's slab, created all-"none" on first
-    /// touch.
+    /// touch. A slab shared with a fork is cloned first (COW).
     pub fn line_mut(&mut self, line: CacheLineId) -> &mut ProvLine {
-        self.lines
+        let slab = self
+            .lines
             .entry(line)
-            .or_insert_with(|| Box::new([0; CACHE_LINE_SIZE as usize]))
+            .or_insert_with(|| Arc::new([0; CACHE_LINE_SIZE as usize]));
+        if Arc::strong_count(slab) > 1 {
+            self.cow_clones += 1;
+            self.cow_bytes += size_of::<ProvLine>() as u64;
+        }
+        Arc::make_mut(slab)
     }
 
     /// Number of distinct cache lines with recorded provenance.
@@ -93,6 +107,27 @@ impl ProvenanceMap {
     /// Removes all recorded provenance.
     pub fn clear(&mut self) {
         self.lines.clear();
+    }
+
+    /// Number of slabs cloned by copy-on-write since construction (or since
+    /// this copy was forked).
+    pub fn cow_clones(&self) -> u64 {
+        self.cow_clones
+    }
+
+    /// Bytes copied by copy-on-write clones.
+    pub fn cow_bytes(&self) -> u64 {
+        self.cow_bytes
+    }
+}
+
+impl Forkable for ProvenanceMap {
+    fn fork(&self) -> Self {
+        ProvenanceMap {
+            lines: self.lines.clone(),
+            cow_clones: 0,
+            cow_bytes: 0,
+        }
     }
 }
 
@@ -145,5 +180,20 @@ mod tests {
         assert_eq!(prov.get(CacheLineId(2).base() + 5), Some(8));
         let line = prov.line(CacheLineId(2)).unwrap();
         assert_eq!(line.iter().filter(|&&id| id != 0).count(), 1);
+    }
+
+    #[test]
+    fn fork_is_cow() {
+        let mut prov = ProvenanceMap::new();
+        prov.set_range(Addr(0), 8, 1);
+        let mut child = prov.fork();
+        assert_eq!(child.cow_clones(), 0);
+        child.set_range(Addr(8), 8, 2);
+        assert_eq!(child.cow_clones(), 1);
+        assert_eq!(child.cow_bytes(), size_of::<ProvLine>() as u64);
+        assert_eq!(prov.get(Addr(8)), None, "parent unaffected");
+        assert_eq!(child.get(Addr(0)), Some(1), "shared prefix visible");
+        // Untouched parents pay nothing.
+        assert_eq!(prov.cow_clones(), 0);
     }
 }

@@ -1,8 +1,16 @@
 //! Per-thread store buffers and flush buffers.
+//!
+//! Both buffer types keep their entry queues behind [`std::sync::Arc`] so
+//! that [`Forkable::fork`] is a refcount bump; the first mutation of a
+//! queue shared with a fork clones it (copy-on-write). Buffers that were
+//! never forked always hold uniquely-owned queues and pay nothing beyond a
+//! refcount check.
 
 use std::collections::VecDeque;
+use std::mem::size_of;
+use std::sync::Arc;
 
-use pmem::{Addr, CacheLineId};
+use pmem::{Addr, CacheLineId, Forkable};
 
 use crate::ordering::{ordering_constraint, InsnKind};
 
@@ -122,7 +130,9 @@ impl SbEntry {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct StoreBuffer {
-    entries: VecDeque<SbEntry>,
+    entries: Arc<VecDeque<SbEntry>>,
+    cow_clones: u64,
+    cow_bytes: u64,
 }
 
 impl StoreBuffer {
@@ -131,9 +141,18 @@ impl StoreBuffer {
         StoreBuffer::default()
     }
 
+    /// Mutable access to the queue, cloning it first if shared with a fork.
+    fn entries_mut(&mut self) -> &mut VecDeque<SbEntry> {
+        if Arc::strong_count(&self.entries) > 1 {
+            self.cow_clones += 1;
+            self.cow_bytes += (self.entries.len() * size_of::<SbEntry>()) as u64;
+        }
+        Arc::make_mut(&mut self.entries)
+    }
+
     /// Appends an entry at the program-order tail.
     pub fn push(&mut self, entry: SbEntry) {
-        self.entries.push_back(entry);
+        self.entries_mut().push_back(entry);
     }
 
     /// Returns `true` if the buffer holds no entries.
@@ -171,7 +190,7 @@ impl StoreBuffer {
     /// from [`evictable_positions`](StoreBuffer::evictable_positions); the
     /// buffer does not re-check legality.
     pub fn evict(&mut self, position: usize) -> SbEntry {
-        self.entries
+        self.entries_mut()
             .remove(position)
             .expect("eviction position out of range")
     }
@@ -181,7 +200,10 @@ impl StoreBuffer {
     /// Draining head-first is always a legal schedule; `mfence` and RMW use
     /// this to empty the buffer in program order.
     pub fn evict_head(&mut self) -> Option<SbEntry> {
-        self.entries.pop_front()
+        if self.entries.is_empty() {
+            return None;
+        }
+        self.entries_mut().pop_front()
     }
 
     /// Iterates over buffered entries in program order.
@@ -205,7 +227,7 @@ impl StoreBuffer {
     pub fn bypass_bytes_into(&self, addr: Addr, len: u64, out: &mut Vec<Option<u64>>) {
         out.clear();
         out.resize(len as usize, None);
-        for entry in &self.entries {
+        for entry in self.entries.iter() {
             if let SbEntry::Store(s) = entry {
                 // Intersect [addr, addr+len) with the store's byte range.
                 let start = s.addr.raw().max(addr.raw());
@@ -221,7 +243,31 @@ impl StoreBuffer {
 
     /// Discards all entries (crash: buffered entries never took effect).
     pub fn clear(&mut self) {
-        self.entries.clear();
+        match Arc::get_mut(&mut self.entries) {
+            Some(q) => q.clear(),
+            // Shared with a fork: detach without copying the old contents.
+            None => self.entries = Arc::default(),
+        }
+    }
+
+    /// Number of times the entry queue was cloned by copy-on-write.
+    pub fn cow_clones(&self) -> u64 {
+        self.cow_clones
+    }
+
+    /// Bytes copied by copy-on-write clones.
+    pub fn cow_bytes(&self) -> u64 {
+        self.cow_bytes
+    }
+}
+
+impl Forkable for StoreBuffer {
+    fn fork(&self) -> Self {
+        StoreBuffer {
+            entries: Arc::clone(&self.entries),
+            cow_clones: 0,
+            cow_bytes: 0,
+        }
     }
 }
 
@@ -242,7 +288,9 @@ pub struct FbEntry {
 /// persist effect (`Evict_FB` in Fig. 8). A crash discards the buffer.
 #[derive(Debug, Clone, Default)]
 pub struct FlushBuffer {
-    pending: Vec<FbEntry>,
+    pending: Arc<Vec<FbEntry>>,
+    cow_clones: u64,
+    cow_bytes: u64,
 }
 
 impl FlushBuffer {
@@ -253,12 +301,27 @@ impl FlushBuffer {
 
     /// Adds a `clwb` that exited the store buffer.
     pub fn push(&mut self, entry: FbEntry) {
-        self.pending.push(entry);
+        if Arc::strong_count(&self.pending) > 1 {
+            self.cow_clones += 1;
+            self.cow_bytes += (self.pending.len() * size_of::<FbEntry>()) as u64;
+        }
+        Arc::make_mut(&mut self.pending).push(entry);
     }
 
     /// Takes every pending entry (fence executed).
     pub fn take_all(&mut self) -> Vec<FbEntry> {
-        std::mem::take(&mut self.pending)
+        match Arc::get_mut(&mut self.pending) {
+            Some(v) => std::mem::take(v),
+            // Shared with a fork: the fork keeps the old queue; this side
+            // takes a copy and detaches.
+            None => {
+                self.cow_clones += 1;
+                self.cow_bytes += (self.pending.len() * size_of::<FbEntry>()) as u64;
+                let taken = (*self.pending).clone();
+                self.pending = Arc::default();
+                taken
+            }
+        }
     }
 
     /// Returns `true` if no `clwb` is pending.
@@ -273,7 +336,30 @@ impl FlushBuffer {
 
     /// Discards all entries (crash).
     pub fn clear(&mut self) {
-        self.pending.clear();
+        match Arc::get_mut(&mut self.pending) {
+            Some(v) => v.clear(),
+            None => self.pending = Arc::default(),
+        }
+    }
+
+    /// Number of times the queue was cloned by copy-on-write.
+    pub fn cow_clones(&self) -> u64 {
+        self.cow_clones
+    }
+
+    /// Bytes copied by copy-on-write clones.
+    pub fn cow_bytes(&self) -> u64 {
+        self.cow_bytes
+    }
+}
+
+impl Forkable for FlushBuffer {
+    fn fork(&self) -> Self {
+        FlushBuffer {
+            pending: Arc::clone(&self.pending),
+            cow_clones: 0,
+            cow_bytes: 0,
+        }
     }
 }
 
@@ -447,6 +533,57 @@ mod tests {
         assert_eq!(taken.len(), 2);
         assert!(fb.is_empty());
         assert!(fb.take_all().is_empty());
+    }
+
+    #[test]
+    fn fork_shares_queues_copy_on_write() {
+        let mut sb = StoreBuffer::new();
+        sb.push(store(0, 8, 1));
+        sb.push(store(8, 8, 2));
+        let mut child = sb.fork();
+        assert_eq!(child.cow_clones(), 0);
+        // The fork sees the parent's entries; popping clones the queue once.
+        assert_eq!(child.evict_head().unwrap().id(), 1);
+        assert_eq!(child.cow_clones(), 1);
+        assert_eq!(child.cow_bytes(), (2 * size_of::<SbEntry>()) as u64);
+        assert_eq!(sb.len(), 2, "parent unaffected");
+        // Further mutation of the now-unique queue is free.
+        child.push(store(16, 8, 3));
+        assert_eq!(child.cow_clones(), 1);
+
+        let mut fb = FlushBuffer::new();
+        fb.push(FbEntry {
+            addr: Addr(0),
+            id: 1,
+        });
+        let mut fchild = fb.fork();
+        let taken = fchild.take_all();
+        assert_eq!(taken.len(), 1);
+        assert_eq!(fchild.cow_clones(), 1);
+        assert_eq!(fb.len(), 1, "parent keeps its pending clwb");
+        // clear() on a shared queue detaches without copying.
+        let mut fchild2 = fb.fork();
+        fchild2.clear();
+        assert_eq!(fchild2.cow_clones(), 0);
+        assert!(fchild2.is_empty());
+        assert_eq!(fb.len(), 1);
+    }
+
+    #[test]
+    fn unforked_buffers_never_cow() {
+        let mut sb = StoreBuffer::new();
+        sb.push(store(0, 8, 1));
+        sb.evict_head();
+        sb.push(store(8, 8, 2));
+        sb.clear();
+        assert_eq!(sb.cow_clones(), 0);
+        let mut fb = FlushBuffer::new();
+        fb.push(FbEntry {
+            addr: Addr(0),
+            id: 1,
+        });
+        fb.take_all();
+        assert_eq!(fb.cow_clones(), 0);
     }
 
     #[test]

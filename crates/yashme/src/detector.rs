@@ -24,7 +24,7 @@ const FLUSHMAP_CAPACITY: usize = 64;
 const LASTFLUSH_CAPACITY: usize = 16;
 
 /// Per-execution detector state: the maps of §6.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct ExecDetState {
     /// `flushmap`: store → flushes that happen-after it. A store with an
     /// *effective* record is persisted; effectiveness depends on the mode
@@ -55,7 +55,7 @@ impl Default for ExecDetState {
 /// `clwb`+fence) and Fig. 9 (race-checking loads that read pre-crash
 /// stores). See the crate docs for usage; most callers go through
 /// [`crate::model_check`] / [`crate::random_check`].
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct YashmeDetector {
     config: YashmeConfig,
     states: HashMap<ExecId, ExecDetState>,
@@ -274,6 +274,13 @@ impl EventSink for YashmeDetector {
 
     fn drain_reports(&mut self) -> Vec<RaceReport> {
         std::mem::take(&mut self.reports)
+    }
+
+    fn fork_sink(&self) -> Option<Box<dyn EventSink>> {
+        // All detector state is per-execution maps plus the report/dedup
+        // accumulators — a deep clone resumes exactly where the prefix
+        // stopped, so checkpoint/fork exploration is fully supported.
+        Some(Box::new(self.clone()))
     }
 }
 

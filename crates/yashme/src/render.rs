@@ -115,6 +115,33 @@ pub fn render_stats(report: &RunReport) -> String {
     out
 }
 
+/// Renders the checkpoint/fork strategy counters (`yashme --details`).
+/// Kept apart from [`render_stats`]: these describe how the run was
+/// computed, differ legitimately between fork mode and full re-execution,
+/// and are all zero when fork mode was off or unsupported — in which case
+/// this renders the empty string.
+pub fn render_fork_stats(report: &RunReport) -> String {
+    let f = report.fork_stats();
+    if f.snapshots == 0 && f.resumed_runs == 0 {
+        return String::new();
+    }
+    let mut out = String::new();
+    writeln!(
+        out,
+        "fork: {} snapshot(s), {} resumed run(s), {} prefix event(s) skipped, \
+         {} suffix event(s) executed",
+        f.snapshots, f.resumed_runs, f.prefix_events_skipped, f.suffix_events,
+    )
+    .expect("write to string");
+    writeln!(
+        out,
+        "fork cow: {} line/queue clone(s), {} B copied",
+        f.cow_clones, f.cow_bytes,
+    )
+    .expect("write to string");
+    out
+}
+
 /// Renders the provenance timeline behind one report (`yashme --explain`):
 /// the racing store, its missing or ineffective flush/fence, the injected
 /// crash, the post-crash load that observed the store, and the detection

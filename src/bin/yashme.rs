@@ -68,12 +68,15 @@ impl Default for Options {
 fn usage() -> &'static str {
     "usage: yashme (--list | --all | --benchmark <NAME>) \
      [--mode model-check|random] [--executions N] [--seed S] \
-     [--workers N|auto] [--baseline] [--eadr] [--details] [--explain] \
-     [--json] [--trace-out FILE] [--metrics-out FILE]"
+     [--workers N|auto] [--no-fork] [--baseline] [--eadr] [--details] \
+     [--explain] [--json] [--trace-out FILE] [--metrics-out FILE]"
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut opts = Options::default();
+    // Tracked separately from `opts.engine` because `--workers` replaces
+    // the whole engine config; applied once parsing is done.
+    let mut no_fork = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -123,6 +126,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     )
                 };
             }
+            "--no-fork" => no_fork = true,
             "--baseline" => opts.baseline = true,
             "--eadr" => opts.eadr = true,
             "--details" => opts.details = true,
@@ -158,6 +162,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         // Tracing is opt-in: the engine only allocates span buffers when an
         // export was requested.
         opts.engine = opts.engine.with_trace(true);
+    }
+    if no_fork {
+        opts.engine = opts.engine.with_fork(false);
     }
     Ok(opts)
 }
@@ -201,6 +208,7 @@ fn run_one(entry: &SuiteEntry, opts: &Options, docs: &mut Vec<Json>) -> Result<u
                 println!("  {}", render::render_detail(entry.name, r));
             }
             print!("{}", render::render_stats(&report));
+            print!("{}", render::render_fork_stats(&report));
         }
         if opts.explain {
             for (i, r) in report.races().iter().enumerate() {
