@@ -86,8 +86,13 @@ fn main() {
             _ => {}
         }
     }
-    let fork_cfg = EngineConfig::with_workers(workers);
-    let full_cfg = EngineConfig::with_workers(workers).with_fork(false);
+    // Pruning is disabled on both sides: this benchmark isolates the
+    // checkpoint/fork win over full re-execution (`crashprune` measures
+    // equivalence pruning on top of fork mode).
+    let fork_cfg = EngineConfig::with_workers(workers).with_prune(false);
+    let full_cfg = EngineConfig::with_workers(workers)
+        .with_fork(false)
+        .with_prune(false);
 
     let program = crashlog_workload(records);
     let (fork_report, fork_time) = check(&program, ExecMode::model_check(), &fork_cfg);
@@ -175,7 +180,7 @@ mod tests {
         let (fork_report, _) = check(
             &program,
             ExecMode::model_check(),
-            &EngineConfig::sequential(),
+            &EngineConfig::sequential().with_prune(false),
         );
         let (full_report, _) = check(
             &program,

@@ -1,0 +1,276 @@
+//! Measures crash-state equivalence pruning against fork-only and full
+//! re-execution on a redundancy-heavy workload, verifying the three
+//! reports are byte-identical, and writes the results to
+//! `BENCH_crashprune.json`.
+//!
+//! Fork mode already reduced crash-point exploration from O(points × run)
+//! to O(prefix + Σ suffixes); pruning attacks the remaining Σ: crash
+//! points separated only by effect-free events (here: redundant re-flush
+//! "scrub" passes over already-persisted lines) share one crash-state
+//! fingerprint, so the engine resumes one representative suffix per
+//! equivalence class and attributes its outcome to the rest. On a
+//! workload with `scrub` redundant passes per record that is a
+//! `(1 + scrub)`-fold cut in resumed suffix runs.
+//!
+//! Usage: `crashprune [--records N[,N...]] [--scrub N] [--smoke]
+//! [--workers N] [--emit-reports DIR] [--out PATH]` — `--smoke` shrinks
+//! the sweep for CI; `--emit-reports DIR` additionally writes
+//! `pruned.json` / `exhaustive.json` (elapsed-free suite reports over the
+//! crashprune workload plus the evaluation suite) so CI can `cmp` them
+//! byte for byte.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use bench::workload::crashprune_workload;
+use bench::{evaluation_suite, SuiteMode, HARNESS_SEED};
+use jaaru::{EngineConfig, ExecMode, Program};
+use yashme::json::{run_json, suite_json};
+use yashme::{RunReport, YashmeConfig};
+
+fn check(program: &Program, engine: &EngineConfig) -> (RunReport, Duration) {
+    let start = Instant::now();
+    let report = yashme::check_with(
+        program,
+        ExecMode::model_check(),
+        YashmeConfig::default(),
+        engine,
+    );
+    (report, start.elapsed())
+}
+
+/// Simulated events this run physically executed: the logical event total
+/// minus prefix events inherited from snapshots and minus suffix events
+/// attributed to skipped class members rather than executed. Equals the
+/// logical total when both fork mode and pruning are off.
+fn physical_events(report: &RunReport) -> u64 {
+    report.stats().events()
+        - report.fork_stats().prefix_events_skipped
+        - report.prune_stats().events_attributed
+}
+
+/// One measured configuration at one sweep size.
+struct Row {
+    config: &'static str,
+    records: usize,
+    report: RunReport,
+    wall: Duration,
+}
+
+impl Row {
+    fn resumed(&self) -> u64 {
+        self.report.fork_stats().resumed_runs - self.report.prune_stats().suffixes_skipped
+    }
+
+    fn json(&self) -> String {
+        let p = self.report.prune_stats();
+        format!(
+            "{{\"config\": \"{}\", \"records\": {}, \"crash_points\": {}, \
+             \"classes\": {}, \"representatives\": {}, \"resumed_suffixes\": {}, \
+             \"suffixes_skipped\": {}, \"events_attributed\": {}, \
+             \"physical_events\": {}, \"wall_s\": {:.6}}}",
+            self.config,
+            self.records,
+            self.report.crash_points(),
+            p.classes,
+            p.representatives,
+            self.resumed(),
+            p.suffixes_skipped,
+            p.events_attributed,
+            physical_events(&self.report),
+            self.wall.as_secs_f64(),
+        )
+    }
+}
+
+/// Renders the elapsed-free suite document for one engine configuration:
+/// the crashprune workload plus every evaluation-suite benchmark in its
+/// paper mode. Byte-identical across prune/fork modes and worker counts.
+fn suite_reports(records: usize, scrub: usize, smoke: bool, engine: &EngineConfig) -> String {
+    let mut runs = Vec::new();
+    let mut total_races = 0;
+    let workload = crashprune_workload(records, scrub);
+    let report = yashme::check_with(
+        &workload,
+        ExecMode::model_check(),
+        YashmeConfig::default(),
+        engine,
+    );
+    total_races += report.race_labels().len();
+    runs.push(run_json("crashprune", &report, false));
+    for entry in evaluation_suite() {
+        let mode = match entry.mode {
+            SuiteMode::ModelCheck => ExecMode::model_check(),
+            SuiteMode::Random(n) => ExecMode::random(if smoke { 5 } else { n }, HARNESS_SEED),
+        };
+        let program = (entry.program)();
+        let report = yashme::check_with(&program, mode, YashmeConfig::default(), engine);
+        total_races += report.race_labels().len();
+        runs.push(run_json(entry.name, &report, false));
+    }
+    suite_json(runs, total_races).render()
+}
+
+fn main() {
+    let mut sweep = vec![40usize, 80, 160];
+    let mut scrub = 5usize;
+    let mut smoke = false;
+    let mut workers = 1usize;
+    let mut out = String::from("BENCH_crashprune.json");
+    let mut emit: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--records" => {
+                if let Some(v) = args.next() {
+                    let parsed: Vec<usize> = v.split(',').filter_map(|n| n.parse().ok()).collect();
+                    if !parsed.is_empty() {
+                        sweep = parsed;
+                    }
+                }
+            }
+            "--scrub" => scrub = args.next().and_then(|v| v.parse().ok()).unwrap_or(scrub),
+            "--smoke" => {
+                smoke = true;
+                sweep = vec![12, 24];
+            }
+            "--workers" => workers = args.next().and_then(|v| v.parse().ok()).unwrap_or(workers),
+            "--emit-reports" => emit = args.next(),
+            "--out" => out = args.next().unwrap_or(out),
+            _ => {}
+        }
+    }
+    let pruned_cfg = EngineConfig::with_workers(workers);
+    let noprune_cfg = EngineConfig::with_workers(workers).with_prune(false);
+    let nofork_cfg = EngineConfig::with_workers(workers).with_fork(false);
+
+    println!(
+        "Equivalence-pruning benchmark: records {:?}, {scrub} scrub round(s), {workers} worker(s)",
+        sweep
+    );
+    println!();
+    println!(
+        "{:>8} {:>10} {:>8} {:>8} {:>10} {:>12} {:>10}",
+        "records", "config", "points", "classes", "resumed", "events", "wall"
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut identical = true;
+    for &records in &sweep {
+        let program = crashprune_workload(records, scrub);
+        let mut rendered: Option<String> = None;
+        for (config, name) in [
+            (&pruned_cfg, "prune"),
+            (&noprune_cfg, "no-prune"),
+            (&nofork_cfg, "no-fork"),
+        ] {
+            let (report, wall) = check(&program, config);
+            let json = run_json("crashprune", &report, false).render();
+            match &rendered {
+                Some(first) => identical &= *first == json,
+                None => rendered = Some(json),
+            }
+            let row = Row {
+                config: name,
+                records,
+                report,
+                wall,
+            };
+            println!(
+                "{:>8} {:>10} {:>8} {:>8} {:>10} {:>12} {:>9.3?}",
+                row.records,
+                row.config,
+                row.report.crash_points(),
+                row.report.prune_stats().classes,
+                row.resumed(),
+                physical_events(&row.report),
+                row.wall,
+            );
+            rows.push(row);
+        }
+    }
+    // The headline ratio: resumed suffix runs, pruned vs fork-only, at the
+    // largest sweep size.
+    let last = *sweep.last().expect("non-empty sweep");
+    let resumed_of = |config: &str| {
+        rows.iter()
+            .find(|r| r.records == last && r.config == config)
+            .map(Row::resumed)
+            .unwrap_or(0)
+    };
+    let prune_resumed = resumed_of("prune");
+    let noprune_resumed = resumed_of("no-prune");
+    let resumed_ratio = noprune_resumed as f64 / prune_resumed.max(1) as f64;
+    println!();
+    println!(
+        "  {last} records: {noprune_resumed} resumed suffixes fork-only vs \
+         {prune_resumed} pruned ({resumed_ratio:.2}x fewer), reports identical: {identical}"
+    );
+
+    // serde is stubbed out in this offline build, so render the JSON by
+    // hand; every field is a number, bool, or fixed string.
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"scrub_rounds\": {scrub},");
+    let _ = writeln!(json, "  \"workers\": {workers},");
+    let _ = writeln!(json, "  \"reports_identical\": {identical},");
+    let _ = writeln!(json, "  \"records\": {last},");
+    let _ = writeln!(json, "  \"noprune_resumed\": {noprune_resumed},");
+    let _ = writeln!(json, "  \"prune_resumed\": {prune_resumed},");
+    let _ = writeln!(json, "  \"resumed_ratio\": {resumed_ratio:.3},");
+    let _ = writeln!(json, "  \"rows\": [");
+    for (i, row) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(json, "    {}{comma}", row.json());
+    }
+    let _ = writeln!(json, "  ]");
+    json.push_str("}\n");
+    std::fs::write(&out, json).expect("write benchmark json");
+    println!("wrote {out}");
+
+    if let Some(dir) = emit {
+        std::fs::create_dir_all(&dir).expect("create report dir");
+        for (engine, file) in [
+            (&pruned_cfg, "pruned.json"),
+            (&noprune_cfg, "exhaustive.json"),
+        ] {
+            let path = format!("{dir}/{file}");
+            std::fs::write(&path, suite_reports(last, scrub, smoke, engine))
+                .expect("write reports");
+            println!("wrote {path}");
+        }
+    }
+    if !identical {
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pruning_resumes_strictly_fewer_suffixes_with_identical_report() {
+        let program = crashprune_workload(16, 4);
+        let (pruned, _) = check(&program, &EngineConfig::sequential());
+        let (exhaustive, _) = check(&program, &EngineConfig::sequential().with_prune(false));
+        assert_eq!(
+            run_json("crashprune", &pruned, false).render(),
+            run_json("crashprune", &exhaustive, false).render(),
+            "pruned and exhaustive reports must be byte-identical"
+        );
+        let resumed_pruned =
+            pruned.fork_stats().resumed_runs - pruned.prune_stats().suffixes_skipped;
+        let resumed_exhaustive = exhaustive.fork_stats().resumed_runs;
+        assert!(pruned.prune_stats().suffixes_skipped > 0, "pruning engaged");
+        assert!(
+            resumed_pruned * 4 <= resumed_exhaustive,
+            "pruned {resumed_pruned} resumed vs exhaustive {resumed_exhaustive}"
+        );
+        assert!(
+            physical_events(&pruned) < physical_events(&exhaustive),
+            "pruned {} events vs exhaustive {}",
+            physical_events(&pruned),
+            physical_events(&exhaustive)
+        );
+    }
+}

@@ -82,14 +82,21 @@ pub const HARNESS_SEED: u64 = 15;
 /// `YASHME_WORKERS` environment variable; with neither set the harness
 /// runs sequentially. `--no-fork` disables checkpoint/fork crash-point
 /// exploration (full re-execution per crash point; same report, slower).
-/// Reports are identical at every worker count and in both fork modes.
+/// `--no-prune` disables crash-state equivalence pruning (every crash
+/// point's suffix resumed individually; same report, slower).
+/// Reports are identical at every worker count and in every mode.
 pub fn cli_engine_config() -> EngineConfig {
     let mut config = None;
     let mut fork = true;
+    let mut prune = true;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if arg == "--no-fork" {
             fork = false;
+            continue;
+        }
+        if arg == "--no-prune" {
+            prune = false;
             continue;
         }
         let value = if arg == "--workers" {
@@ -105,14 +112,16 @@ pub fn cli_engine_config() -> EngineConfig {
             });
         }
     }
-    let config = config.unwrap_or_else(EngineConfig::from_env);
-    // Only apply an explicit `--no-fork`; otherwise keep whatever the
-    // config already says (e.g. `YASHME_FORK=0` via `from_env`).
-    if fork {
-        config
-    } else {
-        config.with_fork(false)
+    let mut config = config.unwrap_or_else(EngineConfig::from_env);
+    // Only apply explicit `--no-fork`/`--no-prune`; otherwise keep whatever
+    // the config already says (e.g. `YASHME_FORK=0` via `from_env`).
+    if !fork {
+        config = config.with_fork(false);
     }
+    if !prune {
+        config = config.with_prune(false);
+    }
+    config
 }
 
 /// True when the process arguments contain the flag verbatim (e.g.

@@ -54,7 +54,7 @@ impl Ctx {
     /// Panics if the persistent arena is exhausted (fatal for a benchmark).
     pub fn alloc(&mut self, size: u64, align: u64) -> Addr {
         self.shared
-            .with_core(|core| core.mem.alloc.alloc(size, align))
+            .with_core(|core| core.mem.alloc(size, align))
             .expect("persistent arena exhausted")
     }
 

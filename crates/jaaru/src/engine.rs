@@ -18,8 +18,8 @@ use rand::{Rng, SeedableRng};
 
 use crate::ctx::spawn_task;
 use crate::mem::{MemState, PersistencePolicy};
-use crate::report::{ForkStats, RaceReport, RunReport};
-use crate::sched::{Core, CrashCtl, SchedPolicy, Shared, Snapshot, SnapshotLog};
+use crate::report::{ForkStats, PruneStats, RaceReport, RunReport};
+use crate::sched::{Core, CrashCtl, PointRecord, SchedPolicy, Shared, Snapshot, SnapshotLog};
 use crate::sink::{EventSink, NullSink, SpanTraceSink};
 use crate::Program;
 
@@ -102,6 +102,25 @@ pub struct EngineConfig {
     /// byte-identical either way; switch off via `--no-fork` /
     /// `YASHME_FORK=0` to compare or to debug a full re-execution.
     pub fork: bool,
+    /// Crash-state equivalence pruning (on by default; effective only with
+    /// `fork` in model-checking mode).
+    ///
+    /// The profiling run keeps a rolling fingerprint of everything a crash
+    /// would materialize — persisted image, committed cache state, and the
+    /// detector state feeding reports. Consecutive crash points with equal
+    /// fingerprints (separated only by effect-free events such as redundant
+    /// re-flushes of persisted lines) yield byte-identical post-crash
+    /// results, so the engine resumes one *representative* suffix per
+    /// equivalence class and attributes its outcome to the other members.
+    /// The aggregated [`RunReport`] stays byte-identical to exhaustive
+    /// exploration; switch off via `--no-prune` / `YASHME_PRUNE=0`.
+    pub prune: bool,
+    /// Paranoid pruning verification (off by default): resume *every*
+    /// class member anyway and assert its executed outcome matches the
+    /// attributed one, panicking on divergence. Costs what pruning saves —
+    /// a correctness harness, not a production mode
+    /// (`YASHME_PRUNE_PARANOID=1`).
+    pub prune_paranoid: bool,
 }
 
 impl Default for EngineConfig {
@@ -110,6 +129,8 @@ impl Default for EngineConfig {
             workers: 1,
             trace: false,
             fork: true,
+            prune: true,
+            prune_paranoid: false,
         }
     }
 }
@@ -140,6 +161,20 @@ impl EngineConfig {
         self
     }
 
+    /// Returns a copy with crash-state equivalence pruning switched on or
+    /// off.
+    pub fn with_prune(mut self, prune: bool) -> Self {
+        self.prune = prune;
+        self
+    }
+
+    /// Returns a copy with paranoid pruning verification switched on or
+    /// off.
+    pub fn with_prune_paranoid(mut self, paranoid: bool) -> Self {
+        self.prune_paranoid = paranoid;
+        self
+    }
+
     /// Reads engine configuration from the environment:
     ///
     /// * `YASHME_WORKERS` — a worker count, or `auto`/`0` for one worker per
@@ -147,15 +182,31 @@ impl EngineConfig {
     ///   execution.
     /// * `YASHME_FORK` — `0`/`false`/`off` disables checkpoint/fork
     ///   exploration (any other value, or unset, leaves it on).
+    /// * `YASHME_PRUNE` — `0`/`false`/`off` disables crash-state
+    ///   equivalence pruning (any other value, or unset, leaves it on).
+    /// * `YASHME_PRUNE_PARANOID` — `1`/`true`/`on` enables paranoid
+    ///   pruning verification.
     pub fn from_env() -> Self {
         let mut config = match std::env::var("YASHME_WORKERS") {
             Ok(v) if v.eq_ignore_ascii_case("auto") => EngineConfig::with_workers(0),
             Ok(v) => EngineConfig::with_workers(v.parse().unwrap_or(1)),
             Err(_) => EngineConfig::default(),
         };
+        let off =
+            |v: &str| v == "0" || v.eq_ignore_ascii_case("false") || v.eq_ignore_ascii_case("off");
         if let Ok(v) = std::env::var("YASHME_FORK") {
-            if v == "0" || v.eq_ignore_ascii_case("false") || v.eq_ignore_ascii_case("off") {
+            if off(&v) {
                 config.fork = false;
+            }
+        }
+        if let Ok(v) = std::env::var("YASHME_PRUNE") {
+            if off(&v) {
+                config.prune = false;
+            }
+        }
+        if let Ok(v) = std::env::var("YASHME_PRUNE_PARANOID") {
+            if v == "1" || v.eq_ignore_ascii_case("true") || v.eq_ignore_ascii_case("on") {
+                config.prune_paranoid = true;
             }
         }
         config
@@ -247,6 +298,7 @@ struct RunAccumulator {
     executions: usize,
     stats: crate::mem::ExecStats,
     fork: ForkStats,
+    prune: PruneStats,
     /// Trace lanes fill in run order (profile first, then crash targets)
     /// — never in worker-completion order — so the merged trace is
     /// byte-identical at every worker count.
@@ -261,6 +313,7 @@ impl RunAccumulator {
             executions: 0,
             stats: crate::mem::ExecStats::default(),
             fork: ForkStats::default(),
+            prune: PruneStats::default(),
             trace: trace.then(obs::RunTrace::new),
         }
     }
@@ -328,6 +381,8 @@ impl Engine {
                 } else {
                     0
                 };
+                let snaplog = (capture_phases > 0)
+                    .then(|| SnapshotLog::new(capture_phases, config.prune, config.prune_paranoid));
                 let (profile, _, log) = Self::run_inner(
                     program,
                     profile_spec.policy,
@@ -336,7 +391,7 @@ impl Engine {
                     None,
                     Self::make_sink(sink_factory, config),
                     Vec::new(),
-                    capture_phases,
+                    snaplog,
                 );
                 crash_points = profile.points.iter().sum();
                 let phase0_points = profile.points.first().copied().unwrap_or(0);
@@ -350,23 +405,46 @@ impl Engine {
                     targets.extend((0..phase1_points).map(|t| (1, t)));
                 }
                 Self::sample_queue_depth(&mut queue_depth, targets.len());
-                // Resume from snapshots when the profiling run captured one
-                // per target; otherwise (fork disabled, or the sink cannot
-                // fork) fall back to one full re-execution per target.
-                let snaps = log.filter(|l| !l.unsupported && l.snaps.len() == targets.len());
+                // Resume from snapshots when the profiling run captured a
+                // usable set — one per target, or with pruning one per
+                // equivalence class; otherwise (fork disabled, or the sink
+                // cannot fork) fall back to one full re-execution per
+                // target.
+                let snaps = log.filter(|l| {
+                    if l.unsupported || l.records.len() != targets.len() {
+                        return false;
+                    }
+                    let expected = if l.prune && !l.paranoid {
+                        Self::class_ranges(&l.records).len()
+                    } else {
+                        targets.len()
+                    };
+                    l.snaps.len() == expected
+                });
                 match snaps {
                     Some(log) => {
                         acc.fork.snapshots += log.snaps.len() as u64;
-                        let runs = Self::fan_out(log.snaps, workers, |snap| {
-                            Self::resume_run(
+                        if log.prune {
+                            Self::run_pruned(
                                 program,
-                                snap,
+                                log,
                                 &profile_points,
                                 profile_spec.persistence,
-                            )
-                        });
-                        for run in runs {
-                            acc.absorb_run(run);
+                                workers,
+                                &mut acc,
+                            );
+                        } else {
+                            let runs = Self::fan_out(log.snaps, workers, |snap| {
+                                Self::resume_run(
+                                    program,
+                                    snap,
+                                    &profile_points,
+                                    profile_spec.persistence,
+                                )
+                            });
+                            for run in runs {
+                                acc.absorb_run(run);
+                            }
                         }
                     }
                     None => {
@@ -436,6 +514,7 @@ impl Engine {
             executions,
             stats,
             fork,
+            prune,
             mut trace,
         } = acc;
         if let Some(t) = trace.as_mut() {
@@ -468,8 +547,137 @@ impl Engine {
             start.elapsed(),
             stats,
             fork,
+            prune,
             queue_depth,
             trace,
+        )
+    }
+
+    /// Partitions profiled crash points into crash-state equivalence
+    /// classes: maximal runs of consecutive points with equal
+    /// `(phase, fingerprint)`. Returns `(start, len)` pairs over `records`.
+    ///
+    /// Only consecutive points can share a class: the fingerprint is a
+    /// rolling hash, so any state-changing event between two points
+    /// separates them for good.
+    fn class_ranges(records: &[PointRecord]) -> Vec<(usize, usize)> {
+        let mut classes: Vec<(usize, usize)> = Vec::new();
+        for (i, r) in records.iter().enumerate() {
+            match classes.last_mut() {
+                Some((start, len))
+                    if records[*start].phase == r.phase
+                        && records[*start].fingerprint == r.fingerprint =>
+                {
+                    *len += 1;
+                }
+                _ => classes.push((i, 1)),
+            }
+        }
+        classes
+    }
+
+    /// Pruned resumption: resumes one representative suffix per equivalence
+    /// class and attributes its outcome to every skipped member, absorbing
+    /// results in exact crash-target order so the aggregated report is
+    /// byte-identical to exhaustive exploration.
+    ///
+    /// In paranoid mode the snapshot log captured every point, each member
+    /// suffix is executed as well, and its outcome is asserted equal to the
+    /// attributed one — the accumulator still absorbs the attributed runs,
+    /// so the report (and the `prune.*` counters) match normal pruning.
+    fn run_pruned(
+        program: &Program,
+        log: SnapshotLog,
+        profile_points: &[usize],
+        persistence: PersistencePolicy,
+        workers: usize,
+        acc: &mut RunAccumulator,
+    ) {
+        let SnapshotLog {
+            snaps,
+            records,
+            paranoid,
+            ..
+        } = log;
+        let classes = Self::class_ranges(&records);
+        acc.prune.classes += classes.len() as u64;
+        acc.prune.representatives += classes.len() as u64;
+        // Without paranoia, snapshot k is class k's representative; with
+        // it, snapshot i is point i — either way the resumed runs come
+        // back in class order, representative first.
+        let runs = Self::fan_out(snaps, workers, |snap| {
+            Self::resume_run(program, snap, profile_points, persistence)
+        });
+        let mut runs = runs.into_iter();
+        for &(start, len) in &classes {
+            let rep = runs.next().expect("one run per representative");
+            let rep_rec = &records[start];
+            let members = &records[start + 1..start + len];
+            let synthesized: Vec<SingleRun> = members
+                .iter()
+                .map(|m| Self::attribute_member(&rep, rep_rec, m))
+                .collect();
+            if paranoid {
+                for (member, synth) in members.iter().zip(&synthesized) {
+                    let actual = runs.next().expect("paranoid resumes every member");
+                    assert_eq!(
+                        Self::run_fingerprint(&actual),
+                        Self::run_fingerprint(synth),
+                        "prune_paranoid: attributed outcome for crash point \
+                         (phase {}, point {}) diverges from its executed run",
+                        member.phase,
+                        member.point,
+                    );
+                }
+            }
+            acc.prune.suffixes_skipped += members.len() as u64;
+            acc.prune.events_attributed += rep.fork.suffix_events * members.len() as u64;
+            acc.absorb_run(rep);
+            for synth in synthesized {
+                acc.absorb_run(synth);
+            }
+        }
+    }
+
+    /// Synthesizes the outcome of a skipped class member from its
+    /// representative's executed run.
+    ///
+    /// Everything observable is inherited: by class construction no event
+    /// between the two crash points changed the materialized crash state
+    /// or the detector's report-relevant state, so the member's post-crash
+    /// continuation is the representative's. Only the operation counters
+    /// differ — the member's prefix counted more (effect-free) events — so
+    /// its stats are its own recorded prefix plus the representative's
+    /// suffix delta, exactly what a full run targeting the member counts.
+    fn attribute_member(rep: &SingleRun, rep_rec: &PointRecord, member: &PointRecord) -> SingleRun {
+        let mut stats = member.stats;
+        stats.absorb(&rep.stats.minus(&rep_rec.stats));
+        let mut points = rep.points.clone();
+        points[member.phase] = member.point + 1;
+        SingleRun {
+            reports: rep.reports.clone(),
+            panics: rep.panics.clone(),
+            points,
+            stats,
+            trace: rep.trace.clone(),
+            fork: ForkStats {
+                resumed_runs: 1,
+                prefix_events_skipped: member.stats.events(),
+                suffix_events: rep.fork.suffix_events,
+                ..ForkStats::default()
+            },
+        }
+    }
+
+    /// Comparison key for paranoid verification: everything the
+    /// accumulator folds into the logical report — reports, panics, crash
+    /// points, operation counters — excluding physical strategy counters
+    /// (fork bookkeeping) and traces (a traced run ticks its virtual clock
+    /// on every event, which already makes each point its own class).
+    fn run_fingerprint(run: &SingleRun) -> String {
+        format!(
+            "{:?}|{:?}|{:?}|{:?}",
+            run.reports, run.panics, run.points, run.stats
         )
     }
 
@@ -591,7 +799,7 @@ impl Engine {
             crash_target,
             sink,
             Vec::new(),
-            0,
+            None,
         )
         .0
     }
@@ -642,7 +850,7 @@ impl Engine {
                 crash_target,
                 sink_factory(),
                 script,
-                0,
+                None,
             );
             (run, log)
         })
@@ -694,8 +902,8 @@ impl Engine {
     }
 
     /// [`Engine::run_single`] plus schedule scripting and snapshot capture:
-    /// returns the branch-point choice log and (when `capture_phases > 0`)
-    /// the snapshot log alongside the outcome.
+    /// returns the branch-point choice log and (when a `snaplog` was
+    /// installed) the snapshot log alongside the outcome.
     #[allow(clippy::too_many_arguments)]
     fn run_inner(
         program: &Program,
@@ -705,14 +913,14 @@ impl Engine {
         crash_target: Option<(usize, usize)>,
         sink: Box<dyn EventSink>,
         script: Vec<usize>,
-        capture_phases: usize,
+        snaplog: Option<SnapshotLog>,
     ) -> (SingleRun, Vec<(usize, usize)>, Option<SnapshotLog>) {
         install_quiet_panic_hook();
         let mem = MemState::new(program.compiler(), program.heap_bytes());
         let shared = Arc::new(Shared::new(mem, sink, policy, StdRng::seed_from_u64(seed)));
         shared.with_core(|core| {
             core.sched.script = script;
-            core.snaplog = (capture_phases > 0).then(|| SnapshotLog::new(capture_phases));
+            core.snaplog = snaplog;
         });
         let mut points = Vec::with_capacity(program.phases().len());
 

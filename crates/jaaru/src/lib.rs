@@ -60,7 +60,7 @@ pub use engine::{
 pub use event::{EventId, ExecId, FlushEvent, FlushKind, Label, LoadInfo, StoreEvent};
 pub use mem::{ExecState, ExecStats, LoadOutcome, MemState, PersistencePolicy, ROOT_REGION_BYTES};
 pub use program::{PhaseFn, Program};
-pub use report::{ForkStats, RaceProvenance, RaceReport, ReportKind, RunReport};
+pub use report::{ForkStats, PruneStats, RaceProvenance, RaceReport, ReportKind, RunReport};
 pub use sched::SchedPolicy;
 pub use sink::{EventSink, NullSink, SpanTraceSink, TeeSink, TraceSink};
 

@@ -158,6 +158,15 @@ pub struct MemState {
     pub alloc: PmAllocator,
     /// Operation counters.
     pub stats: ExecStats,
+    /// Rolling crash-state fingerprint: a hash over every event so far that
+    /// changes what a crash at this instant would leave behind (committed
+    /// stores, persistence-floor raises, thread registrations, allocations,
+    /// crashes). Events that cannot affect the materialized crash state —
+    /// loads, redundant re-flushes of already-persisted lines, `clwb`s whose
+    /// marks die with the buffers — deliberately leave it unchanged, which
+    /// is what makes adjacent crash points with identical persisted images
+    /// fingerprint-equal (the engine's equivalence pruning).
+    fp: pmem::Fp64,
 }
 
 impl Forkable for MemState {
@@ -187,6 +196,7 @@ impl Forkable for MemState {
             bypass_scratch: Vec::new(),
             alloc: self.alloc.clone(),
             stats: self.stats,
+            fp: self.fp,
         }
     }
 }
@@ -245,6 +255,32 @@ impl ExecStats {
         self.candidate_stores_scanned += other.candidate_stores_scanned;
     }
 
+    /// Exact per-field difference `self - earlier`. Every counter is
+    /// monotonically non-decreasing over a run, so subtracting an earlier
+    /// reading of the same stats block is always well-defined; the engine
+    /// uses this to attribute a representative suffix's work to the other
+    /// members of its crash-state equivalence class.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if any field of `earlier` exceeds `self`'s.
+    pub fn minus(&self, earlier: &ExecStats) -> ExecStats {
+        ExecStats {
+            stores_executed: self.stores_executed - earlier.stores_executed,
+            stores_committed: self.stores_committed - earlier.stores_committed,
+            loads: self.loads - earlier.loads,
+            flushes: self.flushes - earlier.flushes,
+            fences: self.fences - earlier.fences,
+            cas_ops: self.cas_ops - earlier.cas_ops,
+            crashes: self.crashes - earlier.crashes,
+            bytes_from_bypass: self.bytes_from_bypass - earlier.bytes_from_bypass,
+            bytes_from_cache: self.bytes_from_cache - earlier.bytes_from_cache,
+            bytes_from_image: self.bytes_from_image - earlier.bytes_from_image,
+            candidate_stores_scanned: self.candidate_stores_scanned
+                - earlier.candidate_stores_scanned,
+        }
+    }
+
     /// Total simulated events (instructions plus commits) counted by this
     /// stats block — the work measure used to compare fork mode against full
     /// replay.
@@ -291,7 +327,13 @@ impl MemState {
             bypass_scratch: Vec::new(),
             alloc: PmAllocator::new(Addr::BASE + ROOT_REGION_BYTES, heap_bytes),
             stats: ExecStats::default(),
+            fp: pmem::Fp64::new(),
         }
+    }
+
+    /// The current rolling crash-state fingerprint (see the field docs).
+    pub fn fingerprint(&self) -> u64 {
+        self.fp.value()
     }
 
     /// Number of threads ever registered (across executions).
@@ -329,9 +371,23 @@ impl MemState {
         (clones, bytes)
     }
 
+    /// Allocates from the persistent arena, folding the allocation into the
+    /// crash-state fingerprint: allocator state survives crashes, so an
+    /// allocation between two crash points makes their suffixes diverge.
+    pub fn alloc(&mut self, size: u64, align: u64) -> Result<Addr, pmem::AllocError> {
+        self.fp.absorb(6);
+        self.fp.absorb(size);
+        self.fp.absorb(align);
+        self.alloc.alloc(size, align)
+    }
+
     /// Registers a new thread; `parent` (if any) synchronizes-with the child.
     pub fn register_thread(&mut self, parent: Option<ThreadId>) -> ThreadId {
         let tid = ThreadId::new(self.cvs.len() as u32);
+        // Registration allocates machine state (buffers, clock slot) whose
+        // *count* post-crash phases observe via fresh thread-id assignment.
+        self.fp.absorb(4);
+        self.fp.absorb(tid.as_usize() as u64);
         let mut cv = match parent {
             Some(p) => {
                 self.cvs[p.as_usize()].tick(p);
@@ -603,21 +659,45 @@ impl MemState {
                 // Disjoint field borrows let the cache copy straight out of
                 // the event table without cloning the bytes.
                 let MemState {
-                    events, cur, stats, ..
+                    events,
+                    cur,
+                    stats,
+                    fp,
+                    ..
                 } = self;
                 let event = events.get(s.id);
                 cur.cache.write(s.addr, &event.bytes);
                 cur.store_map.set_range(s.addr, s.len, s.id);
                 cur.line_order.entry(line).or_default().push(s.id);
                 stats.stores_committed += 1;
+                // A committed store always changes the crash state (it joins
+                // the line's persistable prefix).
+                fp.absorb(1);
+                fp.absorb(line.0);
+                fp.absorb(s.id);
+                fp.absorb(seq);
                 sink.on_store_committed(event);
             }
             SbEntry::Clflush { addr, id } => {
                 let seq = self.fresh_seq();
                 let line = addr.cache_line();
                 let committed = self.cur.line_order.get(&line).map(Vec::len).unwrap_or(0);
-                let floor = self.cur.persisted_upto.entry(line).or_insert(0);
-                *floor = (*floor).max(committed);
+                let prev = {
+                    let floor = self.cur.persisted_upto.entry(line).or_insert(0);
+                    let prev = *floor;
+                    *floor = (*floor).max(committed);
+                    prev
+                };
+                // Only a flush that actually raises the persistence floor
+                // changes the crash state; re-flushing an already-persisted
+                // line is a no-op for every persistence policy (and the
+                // detector's `record_flush` suppresses the duplicate record
+                // on its side), so it must not split equivalence classes.
+                if committed > prev {
+                    self.fp.absorb(2);
+                    self.fp.absorb(line.0);
+                    self.fp.absorb(committed as u64);
+                }
                 let flush = self.flushes.get_mut(&id).expect("flush event exists");
                 flush.seq = Some(seq);
                 let flush = self.flushes[&id].clone();
@@ -643,8 +723,19 @@ impl MemState {
         for fb in self.fbs[thread.as_usize()].take_all() {
             let line = fb.addr.cache_line();
             let mark = self.clwb_marks.remove(&fb.id).unwrap_or(0);
-            let floor = self.cur.persisted_upto.entry(line).or_insert(0);
-            *floor = (*floor).max(mark);
+            let prev = {
+                let floor = self.cur.persisted_upto.entry(line).or_insert(0);
+                let prev = *floor;
+                *floor = (*floor).max(mark);
+                prev
+            };
+            // Same rule as clflush commit: only an actual floor raise
+            // changes the crash state.
+            if mark > prev {
+                self.fp.absorb(3);
+                self.fp.absorb(line.0);
+                self.fp.absorb(mark as u64);
+            }
             let clwb = self.flushes[&fb.id].clone();
             let line_stores = line_store_refs(&self.events, &self.cur.store_map, line);
             sink.on_clwb_fenced(&clwb, fence_cv, &line_stores);
@@ -906,6 +997,48 @@ impl MemState {
         let next_id = self.cur.id + 1;
         let old = std::mem::replace(&mut self.cur, ExecState::new(next_id));
         self.past.push(old);
+        self.fp.absorb(5);
+        self.fp.absorb(next_id as u64);
+    }
+
+    /// Full content fingerprint of everything a crash at this instant can
+    /// materialize or a post-crash suffix can observe: the persistent image
+    /// and its provenance, the current execution's cache/storemap/line
+    /// orders/persistence floors, and the per-thread buffers. Used by the
+    /// paranoid pruning mode to cross-check the rolling event-delta
+    /// fingerprint against actual state. O(touched lines), amortized by the
+    /// [`pmem::ArcMemo`] pointer fast path across snapshots.
+    pub fn crash_state_fingerprint(&self, memo: &mut pmem::ArcMemo) -> u64 {
+        let mut fp = pmem::Fp64::new();
+        fp.absorb(self.image.fingerprint(memo));
+        fp.absorb(self.image_prov.fingerprint(memo));
+        fp.absorb(self.cur.cache.fingerprint(memo));
+        fp.absorb(self.cur.store_map.fingerprint(memo));
+        fp.absorb(self.cur.id as u64);
+        // Per-line orders and floors: XOR-combined so HashMap iteration
+        // order cannot leak into the value.
+        let mut orders = 0u64;
+        for (line, order) in &self.cur.line_order {
+            let mut inner = pmem::Fp64::new();
+            for &id in order {
+                inner.absorb(id);
+            }
+            orders ^= pmem::mix64(line.0 ^ pmem::mix64(inner.value()));
+        }
+        fp.absorb(orders);
+        let mut floors = 0u64;
+        for (line, floor) in &self.cur.persisted_upto {
+            floors ^= pmem::mix64(line.0 ^ pmem::mix64(*floor as u64));
+        }
+        fp.absorb(floors);
+        fp.absorb(self.cvs.len() as u64);
+        for sb in &self.sbs {
+            fp.absorb(sb.fingerprint());
+        }
+        for fb in &self.fbs {
+            fp.absorb(fb.fingerprint());
+        }
+        fp.value()
     }
 
     /// Direct read of the persistent image (for assertions in tests).

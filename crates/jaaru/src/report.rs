@@ -222,6 +222,40 @@ impl ForkStats {
     }
 }
 
+/// Counters describing crash-state equivalence pruning: how crash points
+/// grouped into classes, how many representative suffixes actually ran, and
+/// how much attributed (not executed) work the skipped members represent.
+///
+/// Physical-strategy counters like [`ForkStats`]: excluded from
+/// [`RunReport::metrics`] and the JSON surface, because they legitimately
+/// differ between pruned and exhaustive exploration while the logical
+/// report must stay byte-identical. Surfaced through
+/// [`RunReport::prune_stats`] / [`RunReport::prune_metrics`] only.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PruneStats {
+    /// Distinct `(phase, fingerprint)` equivalence classes among the crash
+    /// points of the profiling run (0 when pruning was off or inactive).
+    pub classes: u64,
+    /// Representative suffixes actually resumed — one per class.
+    pub representatives: u64,
+    /// Class members whose suffix was *not* executed; their results were
+    /// attributed from the representative.
+    pub suffixes_skipped: u64,
+    /// Simulated suffix events credited to skipped members without being
+    /// executed (the work pruning saved on top of fork mode).
+    pub events_attributed: u64,
+}
+
+impl PruneStats {
+    /// Adds every counter of `other` into `self`.
+    pub fn absorb(&mut self, other: &PruneStats) {
+        self.classes += other.classes;
+        self.representatives += other.representatives;
+        self.suffixes_skipped += other.suffixes_skipped;
+        self.events_attributed += other.events_attributed;
+    }
+}
+
 /// Summary of a whole engine run (one or many executions).
 #[derive(Debug, Default)]
 pub struct RunReport {
@@ -232,6 +266,7 @@ pub struct RunReport {
     elapsed: Duration,
     stats: ExecStats,
     fork: ForkStats,
+    prune: PruneStats,
     dedup_hits: u64,
     queue_depth: Histogram,
     trace: Option<RunTrace>,
@@ -248,6 +283,7 @@ impl RunReport {
         elapsed: Duration,
         stats: ExecStats,
         fork: ForkStats,
+        prune: PruneStats,
         queue_depth: Histogram,
         trace: Option<RunTrace>,
     ) -> Self {
@@ -259,6 +295,7 @@ impl RunReport {
             elapsed,
             stats,
             fork,
+            prune,
             dedup_hits,
             queue_depth,
             trace,
@@ -388,6 +425,27 @@ impl RunReport {
         m.add(obs::names::FORK_SUFFIX_EVENTS, f.suffix_events);
         m
     }
+
+    /// Physical-strategy counters from crash-state equivalence pruning.
+    /// Like [`fork_stats`](Self::fork_stats), deliberately outside
+    /// [`metrics`](Self::metrics) and the JSON report. All zeros when
+    /// pruning was off, unsupported, or found no redundancy to exploit.
+    pub fn prune_stats(&self) -> &PruneStats {
+        &self.prune
+    }
+
+    /// A separate registry for the pruning counters, under the `prune.*`
+    /// names — same byte-comparability rule as
+    /// [`fork_metrics`](Self::fork_metrics).
+    pub fn prune_metrics(&self) -> MetricsRegistry {
+        let mut m = MetricsRegistry::new();
+        let p = &self.prune;
+        m.add(obs::names::PRUNE_CLASSES, p.classes);
+        m.add(obs::names::PRUNE_REPRESENTATIVES, p.representatives);
+        m.add(obs::names::PRUNE_SUFFIXES_SKIPPED, p.suffixes_skipped);
+        m.add(obs::names::PRUNE_EVENTS_ATTRIBUTED, p.events_attributed);
+        m
+    }
 }
 
 impl fmt::Display for RunReport {
@@ -438,6 +496,7 @@ mod tests {
             Duration::from_millis(1),
             ExecStats::default(),
             ForkStats::default(),
+            PruneStats::default(),
             Histogram::new(),
             None,
         );

@@ -17,7 +17,7 @@ use rand::rngs::StdRng;
 use rand::Rng;
 use vclock::ThreadId;
 
-use crate::mem::MemState;
+use crate::mem::{ExecStats, MemState};
 use crate::sink::EventSink;
 
 /// Panic payload used to unwind simulated threads at a crash.
@@ -190,6 +190,24 @@ pub(crate) struct Snapshot {
     pub panics: Vec<String>,
 }
 
+/// Per-crash-point observation from the profiling run, recorded whether or
+/// not a [`Snapshot`] was captured for the point.
+///
+/// `fingerprint` identifies the point's *crash-state equivalence class*: it
+/// folds together the memory system's rolling crash-state hash, the sink's
+/// fingerprint token (detector state that feeds reports), accumulated panic
+/// count, and the phase. Two consecutive points with equal fingerprints
+/// produce byte-identical post-crash results, so the engine resumes only
+/// one of them. `stats` is the operation-counter prefix at the point,
+/// needed to attribute a representative's suffix work to skipped members.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PointRecord {
+    pub phase: usize,
+    pub point: usize,
+    pub fingerprint: u64,
+    pub stats: ExecStats,
+}
+
 /// Snapshot collection plugged into the profiling run's [`Core`].
 ///
 /// Capture happens inside [`Shared::crash_point`], *before* the point is
@@ -203,17 +221,32 @@ pub(crate) struct SnapshotLog {
     /// Current phase index, maintained by the engine's phase prologue.
     pub phase: usize,
     pub snaps: Vec<Snapshot>,
+    /// One record per crash point in the capture phases, snapshot or not.
+    pub records: Vec<PointRecord>,
+    /// Equivalence pruning: skip the (expensive) snapshot capture for a
+    /// point whose `(phase, fingerprint)` equals the previous point's —
+    /// that class already has a representative snapshot.
+    pub prune: bool,
+    /// Paranoid verification: capture every point even when pruning, so the
+    /// engine can execute skipped members and cross-check attribution.
+    pub paranoid: bool,
+    /// `(phase, fingerprint)` of the most recent point, for the skip check.
+    last: Option<(usize, u64)>,
     /// Set when the sink cannot fork; the engine then falls back to full
     /// re-execution.
     pub unsupported: bool,
 }
 
 impl SnapshotLog {
-    pub fn new(capture_phases: usize) -> Self {
+    pub fn new(capture_phases: usize, prune: bool, paranoid: bool) -> Self {
         SnapshotLog {
             capture_phases,
             phase: 0,
             snaps: Vec::new(),
+            records: Vec::new(),
+            prune,
+            paranoid,
+            last: None,
             unsupported: false,
         }
     }
@@ -389,6 +422,31 @@ impl Shared {
         } = core;
         let Some(log) = snaplog else { return };
         if log.unsupported || log.phase >= log.capture_phases {
+            return;
+        }
+        // The point's class fingerprint: everything that determines the
+        // observable result of resuming from here. Both components are O(1)
+        // reads of rolling hashes, so this costs nothing per point.
+        let fp = {
+            let mut f = pmem::Fp64::new();
+            f.absorb(log.phase as u64);
+            f.absorb(mem.fingerprint());
+            f.absorb(sink.fingerprint_token());
+            f.absorb(panics.len() as u64);
+            f.value()
+        };
+        log.records.push(PointRecord {
+            phase: log.phase,
+            point: crash.seen,
+            fingerprint: fp,
+            stats: mem.stats,
+        });
+        let fresh = log.last != Some((log.phase, fp));
+        log.last = Some((log.phase, fp));
+        if log.prune && !log.paranoid && !fresh {
+            // Same class as the previous point: its representative snapshot
+            // is already captured. Skipping `mem.fork()` here is the
+            // profiling-run half of the pruning win.
             return;
         }
         match sink.fork_sink() {

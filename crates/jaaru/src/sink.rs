@@ -103,6 +103,21 @@ pub trait EventSink: Send {
     fn fork_sink(&self) -> Option<Box<dyn EventSink>> {
         None
     }
+
+    /// A rolling token over this sink's accumulated state, folded into the
+    /// engine's crash-point fingerprints for equivalence pruning: two crash
+    /// points may share a pruning class only if the sink state at both is
+    /// identical, because the pruned suffixes replay against a snapshot of
+    /// that state.
+    ///
+    /// The contract is one-sided: the token MUST change whenever sink state
+    /// that can influence later reports, traces, or metrics changes, and
+    /// SHOULD stay unchanged when nothing changed (every token change
+    /// splits classes and costs a resumed run). The default — constant 0 —
+    /// is correct for stateless sinks.
+    fn fingerprint_token(&self) -> u64 {
+        0
+    }
 }
 
 /// Boxed sinks forward every event — this is what lets the engine wrap a
@@ -156,6 +171,10 @@ impl<S: EventSink + ?Sized> EventSink for Box<S> {
 
     fn fork_sink(&self) -> Option<Box<dyn EventSink>> {
         (**self).fork_sink()
+    }
+
+    fn fingerprint_token(&self) -> u64 {
+        (**self).fingerprint_token()
     }
 }
 
@@ -266,6 +285,10 @@ impl<A: EventSink, B: EventSink> EventSink for TeeSink<A, B> {
         let a = self.a.fork_sink()?;
         let b = self.b.fork_sink()?;
         Some(Box::new(TeeSink { a, b }))
+    }
+
+    fn fingerprint_token(&self) -> u64 {
+        pmem::mix64(self.a.fingerprint_token() ^ pmem::mix64(self.b.fingerprint_token()))
     }
 }
 
@@ -438,6 +461,14 @@ impl<S: EventSink> EventSink for SpanTraceSink<S> {
             open_exec: self.open_exec,
             open_detect: self.open_detect,
         }))
+    }
+
+    fn fingerprint_token(&self) -> u64 {
+        // The virtual clock ticks on *every* delivered event, so under
+        // tracing each crash point fingerprints uniquely and pruning
+        // degrades gracefully to exhaustive exploration — the price of
+        // byte-identical per-event traces.
+        pmem::mix64(self.inner.fingerprint_token() ^ pmem::mix64(self.buf.now()))
     }
 }
 

@@ -96,6 +96,15 @@ pub mod names {
     pub const FORK_PREFIX_EVENTS_SKIPPED: &str = "fork.prefix_events_skipped";
     /// Post-crash suffix events actually executed by resumed runs.
     pub const FORK_SUFFIX_EVENTS: &str = "fork.suffix_events";
+    /// Distinct crash-state equivalence classes among profiled crash points.
+    pub const PRUNE_CLASSES: &str = "prune.classes";
+    /// Representative suffixes resumed (one per equivalence class).
+    pub const PRUNE_REPRESENTATIVES: &str = "prune.representatives";
+    /// Class-member suffixes skipped; results attributed from the
+    /// representative instead of being executed.
+    pub const PRUNE_SUFFIXES_SKIPPED: &str = "prune.suffixes_skipped";
+    /// Suffix events credited to skipped members without being executed.
+    pub const PRUNE_EVENTS_ATTRIBUTED: &str = "prune.events_attributed";
 }
 
 #[cfg(test)]
@@ -127,6 +136,10 @@ mod tests {
             super::names::FORK_COW_BYTES,
             super::names::FORK_PREFIX_EVENTS_SKIPPED,
             super::names::FORK_SUFFIX_EVENTS,
+            super::names::PRUNE_CLASSES,
+            super::names::PRUNE_REPRESENTATIVES,
+            super::names::PRUNE_SUFFIXES_SKIPPED,
+            super::names::PRUNE_EVENTS_ATTRIBUTED,
         ];
         let set: std::collections::HashSet<_> = names.iter().collect();
         assert_eq!(set.len(), names.len());

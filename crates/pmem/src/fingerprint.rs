@@ -1,0 +1,196 @@
+//! 64-bit fingerprints for persisted-state equivalence pruning.
+//!
+//! The engine's crash-point pruning needs two kinds of hashes:
+//!
+//! * a **rolling** event-delta hash ([`Fp64`]) that the memory model
+//!   updates incrementally as state-changing events commit — this is the
+//!   hot-path fingerprint, O(1) per event and zero-cost for events that do
+//!   not change crash-visible state, and
+//! * a **content** hash over the Arc-shared line slabs of a
+//!   [`crate::PmImage`] / [`crate::ProvenanceMap`], used by the paranoid
+//!   collision check. Slabs shared between forks hash once thanks to the
+//!   [`ArcMemo`] pointer-equality fast path: an untouched slab costs one
+//!   map lookup, not 64 byte mixes.
+//!
+//! Both are built on the splitmix64 finalizer, which is cheap and has full
+//! avalanche — adjacent event ids or line ids never collide by accident of
+//! arithmetic structure.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The splitmix64 finalizer: a cheap full-avalanche 64-bit mixer.
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// An order-sensitive rolling 64-bit hasher.
+///
+/// `absorb` folds one word into the running state; two sequences of
+/// absorbed words compare equal only if they are the same words in the
+/// same order (up to 64-bit collisions, which the paranoid mode guards).
+///
+/// # Examples
+///
+/// ```
+/// use pmem::Fp64;
+/// let mut a = Fp64::new();
+/// a.absorb(1);
+/// a.absorb(2);
+/// let mut b = Fp64::new();
+/// b.absorb(2);
+/// b.absorb(1);
+/// assert_ne!(a.value(), b.value(), "order matters");
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Fp64(u64);
+
+impl Fp64 {
+    /// Creates an empty hasher.
+    pub fn new() -> Self {
+        Fp64::default()
+    }
+
+    /// Folds one word into the running hash.
+    #[inline]
+    pub fn absorb(&mut self, word: u64) {
+        self.0 = mix64(self.0 ^ mix64(word));
+    }
+
+    /// The current hash value.
+    pub fn value(&self) -> u64 {
+        self.0
+    }
+}
+
+/// A memo of per-slab content hashes keyed by `Arc` pointer identity.
+///
+/// Crash-point snapshots share untouched line slabs by `Arc`; hashing the
+/// same physical slab once and replaying the cached value for every other
+/// holder makes a full-image content fingerprint cost O(changed lines)
+/// amortized. The memo is only sound while the recorded slabs are alive
+/// and unmodified — callers keep it scoped to one verification pass over
+/// snapshots that are never written through (`Arc::make_mut` only clones
+/// when a slab is shared, but a uniquely-held slab could be mutated in
+/// place, so do not reuse a memo across mutations).
+#[derive(Debug, Default)]
+pub struct ArcMemo {
+    hashes: HashMap<usize, u64>,
+}
+
+impl ArcMemo {
+    /// Creates an empty memo.
+    pub fn new() -> Self {
+        ArcMemo::default()
+    }
+
+    /// Returns the cached hash for `slab`, computing it with `compute` on
+    /// first sight of this allocation.
+    pub fn memoize<T>(&mut self, slab: &Arc<T>, compute: impl FnOnce(&T) -> u64) -> u64 {
+        let key = Arc::as_ptr(slab) as usize;
+        *self.hashes.entry(key).or_insert_with(|| compute(slab))
+    }
+
+    /// Number of distinct slabs hashed so far.
+    pub fn len(&self) -> usize {
+        self.hashes.len()
+    }
+
+    /// Returns `true` if nothing has been memoized.
+    pub fn is_empty(&self) -> bool {
+        self.hashes.is_empty()
+    }
+}
+
+/// Hashes a slice of bytes as little-endian words (content hash for line
+/// slabs).
+pub fn hash_bytes(bytes: &[u8]) -> u64 {
+    let mut fp = Fp64::new();
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        fp.absorb(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+    }
+    let rest = chunks.remainder();
+    if !rest.is_empty() {
+        let mut last = [0u8; 8];
+        last[..rest.len()].copy_from_slice(rest);
+        fp.absorb(u64::from_le_bytes(last));
+        fp.absorb(rest.len() as u64);
+    }
+    fp.value()
+}
+
+/// Hashes a slice of words (content hash for provenance slabs).
+pub fn hash_words(words: &[u64]) -> u64 {
+    let mut fp = Fp64::new();
+    for &w in words {
+        fp.absorb(w);
+    }
+    fp.value()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix64_avalanches_small_inputs() {
+        assert_ne!(mix64(0), mix64(1));
+        assert_ne!(mix64(1), mix64(2));
+        assert_ne!(mix64(0), 0);
+    }
+
+    #[test]
+    fn fp64_is_order_sensitive() {
+        let mut a = Fp64::new();
+        a.absorb(7);
+        a.absorb(9);
+        let mut b = Fp64::new();
+        b.absorb(9);
+        b.absorb(7);
+        assert_ne!(a.value(), b.value());
+    }
+
+    #[test]
+    fn fp64_equal_sequences_agree() {
+        let mut a = Fp64::new();
+        let mut b = Fp64::new();
+        for w in [3u64, 1, 4, 1, 5] {
+            a.absorb(w);
+            b.absorb(w);
+        }
+        assert_eq!(a.value(), b.value());
+    }
+
+    #[test]
+    fn memo_computes_once_per_allocation() {
+        let slab = Arc::new([1u8; 64]);
+        let alias = slab.clone();
+        let other = Arc::new([1u8; 64]);
+        let mut memo = ArcMemo::new();
+        let mut computed = 0;
+        let mut hash = |a: &Arc<[u8; 64]>, memo: &mut ArcMemo| {
+            memo.memoize(a, |s| {
+                computed += 1;
+                hash_bytes(s)
+            })
+        };
+        let h1 = hash(&slab, &mut memo);
+        let h2 = hash(&alias, &mut memo);
+        let h3 = hash(&other, &mut memo);
+        assert_eq!(h1, h2);
+        assert_eq!(h1, h3, "equal contents hash equal");
+        assert_eq!(computed, 2, "aliased slab hashed once");
+        assert_eq!(memo.len(), 2);
+    }
+
+    #[test]
+    fn hash_bytes_distinguishes_tail_lengths() {
+        assert_ne!(hash_bytes(&[0u8; 3]), hash_bytes(&[0u8; 4]));
+        assert_ne!(hash_bytes(&[1, 2, 3]), hash_bytes(&[1, 2, 4]));
+    }
+}

@@ -174,6 +174,24 @@ impl PmImage {
     pub fn cow_bytes(&self) -> u64 {
         self.cow_bytes
     }
+
+    /// Order-independent content fingerprint of the whole image.
+    ///
+    /// XORs a per-line hash (line id mixed with slab contents) over every
+    /// touched line, so HashMap iteration order cannot leak into the value.
+    /// Slab hashes are memoized by `Arc` pointer identity: lines shared
+    /// with other forks cost one lookup. All-zero slabs hash like any
+    /// other content, so an explicitly zeroed line and a never-touched
+    /// line fingerprint differently — matching what a post-crash load can
+    /// distinguish via provenance.
+    pub fn fingerprint(&self, memo: &mut crate::fingerprint::ArcMemo) -> u64 {
+        let mut acc = 0u64;
+        for (line, slab) in &self.lines {
+            let content = memo.memoize(slab, |s| crate::fingerprint::hash_bytes(&s[..]));
+            acc ^= crate::fingerprint::mix64(line.0 ^ crate::fingerprint::mix64(content));
+        }
+        acc
+    }
 }
 
 impl Forkable for PmImage {

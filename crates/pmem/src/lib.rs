@@ -15,6 +15,9 @@
 //!   cache line with one lookup,
 //! * [`Forkable`] — cheap copy-on-write forking of the storage containers,
 //!   used by the engine's checkpoint/fork crash-point exploration,
+//! * [`Fp64`] / [`ArcMemo`] — rolling and memoized content fingerprints
+//!   over the persisted state, used by the engine's crash-state
+//!   equivalence pruning,
 //! * [`StructLayout`] — a helper for laying out C-style structs in simulated
 //!   PM with natural field alignment, so benchmark ports can mirror the
 //!   field-level layout (and cache-line co-residency) of the original C++
@@ -35,6 +38,7 @@
 
 mod addr;
 mod alloc;
+pub mod fingerprint;
 mod forkable;
 mod image;
 mod layout;
@@ -42,6 +46,7 @@ mod prov;
 
 pub use addr::{Addr, CacheLineId, CACHE_LINE_SIZE};
 pub use alloc::{AllocError, PmAllocator};
+pub use fingerprint::{mix64, ArcMemo, Fp64};
 pub use forkable::Forkable;
 pub use image::PmImage;
 pub use layout::{Field, StructLayout};

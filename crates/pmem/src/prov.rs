@@ -119,6 +119,17 @@ impl ProvenanceMap {
     pub fn cow_bytes(&self) -> u64 {
         self.cow_bytes
     }
+
+    /// Order-independent content fingerprint of all recorded provenance,
+    /// memoized per slab like [`crate::PmImage::fingerprint`].
+    pub fn fingerprint(&self, memo: &mut crate::fingerprint::ArcMemo) -> u64 {
+        let mut acc = 0u64;
+        for (line, slab) in &self.lines {
+            let content = memo.memoize(slab, |s| crate::fingerprint::hash_words(&s[..]));
+            acc ^= crate::fingerprint::mix64(line.0 ^ crate::fingerprint::mix64(content));
+        }
+        acc
+    }
 }
 
 impl Forkable for ProvenanceMap {

@@ -63,6 +63,32 @@ pub enum SbEntry {
 }
 
 impl SbEntry {
+    /// Folds this entry's identity (tag, geometry, event id) into `fp`.
+    fn absorb_into(&self, fp: &mut pmem::Fp64) {
+        match self {
+            SbEntry::Store(s) => {
+                fp.absorb(1);
+                fp.absorb(s.addr.raw());
+                fp.absorb(s.len);
+                fp.absorb(s.id);
+            }
+            SbEntry::Clflush { addr, id } => {
+                fp.absorb(2);
+                fp.absorb(addr.raw());
+                fp.absorb(*id);
+            }
+            SbEntry::Clwb { addr, id } => {
+                fp.absorb(3);
+                fp.absorb(addr.raw());
+                fp.absorb(*id);
+            }
+            SbEntry::Sfence { id } => {
+                fp.absorb(4);
+                fp.absorb(*id);
+            }
+        }
+    }
+
     /// The Table 1 instruction class of this entry.
     pub fn kind(&self) -> InsnKind {
         match self {
@@ -259,6 +285,16 @@ impl StoreBuffer {
     pub fn cow_bytes(&self) -> u64 {
         self.cow_bytes
     }
+
+    /// Order-sensitive content fingerprint of the buffered entries, used
+    /// by the engine's paranoid crash-state verification.
+    pub fn fingerprint(&self) -> u64 {
+        let mut fp = pmem::Fp64::new();
+        for entry in self.entries.iter() {
+            entry.absorb_into(&mut fp);
+        }
+        fp.value()
+    }
 }
 
 impl Forkable for StoreBuffer {
@@ -350,6 +386,17 @@ impl FlushBuffer {
     /// Bytes copied by copy-on-write clones.
     pub fn cow_bytes(&self) -> u64 {
         self.cow_bytes
+    }
+
+    /// Order-sensitive content fingerprint of the pending `clwb`s, used by
+    /// the engine's paranoid crash-state verification.
+    pub fn fingerprint(&self) -> u64 {
+        let mut fp = pmem::Fp64::new();
+        for entry in self.pending.iter() {
+            fp.absorb(entry.addr.raw());
+            fp.absorb(entry.id);
+        }
+        fp.value()
     }
 }
 

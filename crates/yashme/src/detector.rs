@@ -64,6 +64,15 @@ pub struct YashmeDetector {
     /// the race check consults this once per candidate store, so a linear
     /// scan would make report-heavy runs quadratic.
     reported: HashSet<(ReportKind, &'static str)>,
+    /// Rolling token over detector state changes, reported through
+    /// [`EventSink::fingerprint_token`] so the engine's crash-state
+    /// equivalence pruning splits classes whenever detector state that can
+    /// influence later reports diverges: actually-recorded flush records,
+    /// `CVpre`/`lastflush` raises, emitted reports, and execution starts.
+    /// Events the detector provably ignores (duplicate flush records caught
+    /// by the `already` suppression, joins that raise nothing) leave it
+    /// unchanged.
+    token: pmem::Fp64,
 }
 
 impl YashmeDetector {
@@ -74,6 +83,7 @@ impl YashmeDetector {
             states: HashMap::new(),
             reports: Vec::new(),
             reported: HashSet::new(),
+            token: pmem::Fp64::new(),
         }
     }
 
@@ -102,7 +112,7 @@ impl YashmeDetector {
         effective_cv: &VectorClock,
         flush_record: FlushRecord,
     ) {
-        let state = self.state(exec);
+        let state = self.states.entry(exec).or_default();
         for store in line_stores {
             // Condition (1): the store happens before the flush.
             if store.clock > hb_cv.get(store.thread) {
@@ -116,6 +126,10 @@ impl YashmeDetector {
                 .any(|r| r.clock <= effective_cv.get(r.thread));
             if !already {
                 records.push(flush_record);
+                self.token.absorb(2);
+                self.token.absorb(store.id);
+                self.token.absorb(flush_record.thread.as_usize() as u64);
+                self.token.absorb(flush_record.clock);
             }
         }
     }
@@ -173,6 +187,10 @@ impl YashmeDetector {
         if !self.reported.insert((kind, store.label)) {
             return;
         }
+        self.token.absorb(3);
+        self.token
+            .absorb(pmem::fingerprint::hash_bytes(store.label.as_bytes()));
+        self.token.absorb(store.id);
         let detail = format!(
             "non-atomic {}-byte store could be torn or invented by the compiler; \
              no consistent prefix of execution {} flushes it before the \
@@ -220,6 +238,8 @@ impl YashmeDetector {
 impl EventSink for YashmeDetector {
     fn on_execution_start(&mut self, exec: ExecId) {
         self.states.entry(exec).or_default();
+        self.token.absorb(1);
+        self.token.absorb(exec as u64);
     }
 
     fn on_clflush_committed(&mut self, flush: &FlushEvent, line_stores: &[&StoreEvent]) {
@@ -260,15 +280,25 @@ impl EventSink for YashmeDetector {
             self.check_candidate(load, store);
         }
         // Then update per-execution prefix state from the stores actually
-        // read (Fig. 9's trailing CVpre/lastflush updates).
+        // read (Fig. 9's trailing CVpre/lastflush updates). Joins that
+        // raise nothing are state no-ops and leave the pruning token alone.
         for store in chosen {
             let is_atomic_read = load.atomicity.is_acquire() && store.atomicity.is_release();
             let line = store.line();
-            let state = self.state(store.exec);
+            let state = self.states.entry(store.exec).or_default();
             if is_atomic_read {
-                state.lastflush.entry(line).or_default().join(&store.cv);
+                let lf = state.lastflush.entry(line).or_default();
+                if !store.cv.leq(lf) {
+                    lf.join(&store.cv);
+                    self.token.absorb(4);
+                    self.token.absorb(store.id);
+                }
             }
-            state.cv_pre.join(&store.cv);
+            if !store.cv.leq(&state.cv_pre) {
+                state.cv_pre.join(&store.cv);
+                self.token.absorb(5);
+                self.token.absorb(store.id);
+            }
         }
     }
 
@@ -281,6 +311,10 @@ impl EventSink for YashmeDetector {
         // accumulators — a deep clone resumes exactly where the prefix
         // stopped, so checkpoint/fork exploration is fully supported.
         Some(Box::new(self.clone()))
+    }
+
+    fn fingerprint_token(&self) -> u64 {
+        self.token.value()
     }
 }
 

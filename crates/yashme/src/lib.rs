@@ -71,7 +71,7 @@ pub mod render;
 pub use config::YashmeConfig;
 pub use detector::YashmeDetector;
 
-pub use jaaru::{EngineConfig, RaceProvenance, RaceReport, ReportKind, RunReport};
+pub use jaaru::{EngineConfig, PruneStats, RaceProvenance, RaceReport, ReportKind, RunReport};
 
 use jaaru::{Engine, ExecMode, Program};
 

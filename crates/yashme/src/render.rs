@@ -142,6 +142,33 @@ pub fn render_fork_stats(report: &RunReport) -> String {
     out
 }
 
+/// Renders the crash-state equivalence pruning counters
+/// (`yashme --details`). Same rule as [`render_fork_stats`]: physical
+/// strategy counters, legitimately different between pruned and exhaustive
+/// exploration, all zero — and rendered as the empty string — when pruning
+/// was off, unsupported, or the points all fell in distinct classes with
+/// nothing to skip.
+pub fn render_prune_stats(report: &RunReport) -> String {
+    let p = report.prune_stats();
+    if p.classes == 0 {
+        return String::new();
+    }
+    let mut out = String::new();
+    writeln!(
+        out,
+        "prune: {} equivalence class(es) over {} crash point(s), \
+         {} representative(s) resumed, {} suffix(es) skipped, \
+         {} suffix event(s) attributed",
+        p.classes,
+        report.crash_points(),
+        p.representatives,
+        p.suffixes_skipped,
+        p.events_attributed,
+    )
+    .expect("write to string");
+    out
+}
+
 /// Renders the provenance timeline behind one report (`yashme --explain`):
 /// the racing store, its missing or ineffective flush/fence, the injected
 /// crash, the post-crash load that observed the store, and the detection

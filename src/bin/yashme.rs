@@ -68,8 +68,8 @@ impl Default for Options {
 fn usage() -> &'static str {
     "usage: yashme (--list | --all | --benchmark <NAME>) \
      [--mode model-check|random] [--executions N] [--seed S] \
-     [--workers N|auto] [--no-fork] [--baseline] [--eadr] [--details] \
-     [--explain] [--json] [--trace-out FILE] [--metrics-out FILE]"
+     [--workers N|auto] [--no-fork] [--no-prune] [--baseline] [--eadr] \
+     [--details] [--explain] [--json] [--trace-out FILE] [--metrics-out FILE]"
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -77,6 +77,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     // Tracked separately from `opts.engine` because `--workers` replaces
     // the whole engine config; applied once parsing is done.
     let mut no_fork = false;
+    let mut no_prune = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -127,6 +128,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 };
             }
             "--no-fork" => no_fork = true,
+            "--no-prune" => no_prune = true,
             "--baseline" => opts.baseline = true,
             "--eadr" => opts.eadr = true,
             "--details" => opts.details = true,
@@ -165,6 +167,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     }
     if no_fork {
         opts.engine = opts.engine.with_fork(false);
+    }
+    if no_prune {
+        opts.engine = opts.engine.with_prune(false);
     }
     Ok(opts)
 }
@@ -209,6 +214,7 @@ fn run_one(entry: &SuiteEntry, opts: &Options, docs: &mut Vec<Json>) -> Result<u
             }
             print!("{}", render::render_stats(&report));
             print!("{}", render::render_fork_stats(&report));
+            print!("{}", render::render_prune_stats(&report));
         }
         if opts.explain {
             for (i, r) in report.races().iter().enumerate() {
