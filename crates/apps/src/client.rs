@@ -38,9 +38,27 @@ impl Wire {
         self.queue.lock().expect("wire lock").push_back(cmd);
     }
 
+    /// Client side: sends a whole batch under one lock acquisition.
+    ///
+    /// The soak traffic generator pushes millions of commands; taking the
+    /// host mutex once per batch instead of once per command keeps the
+    /// harness overhead out of the measured events/s.
+    pub fn send_all(&self, cmds: impl IntoIterator<Item = Command>) {
+        self.queue.lock().expect("wire lock").extend(cmds);
+    }
+
     /// Server side: takes the next command if one is pending.
     pub fn recv(&self) -> Option<Command> {
         self.queue.lock().expect("wire lock").pop_front()
+    }
+
+    /// Server side: takes up to `max` pending commands under one lock
+    /// acquisition, in FIFO order. Returns an empty vector when the wire is
+    /// idle.
+    pub fn drain(&self, max: usize) -> Vec<Command> {
+        let mut queue = self.queue.lock().expect("wire lock");
+        let n = queue.len().min(max);
+        queue.drain(..n).collect()
     }
 }
 
@@ -66,5 +84,14 @@ mod tests {
         let w2 = w.clone();
         w.send(Command::Quit);
         assert_eq!(w2.recv(), Some(Command::Quit));
+    }
+
+    #[test]
+    fn batched_send_and_drain_preserve_fifo_order() {
+        let w = Wire::new();
+        w.send_all([Command::Set(1, 2), Command::Get(1), Command::Quit]);
+        assert_eq!(w.drain(2), vec![Command::Set(1, 2), Command::Get(1)]);
+        assert_eq!(w.drain(16), vec![Command::Quit]);
+        assert!(w.drain(16).is_empty());
     }
 }

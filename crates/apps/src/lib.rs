@@ -15,6 +15,7 @@
 pub mod client;
 pub mod memcached;
 pub mod redis;
+pub mod traffic;
 
 /// Table 4 race labels for memcached-pmem.
 pub mod labels {

@@ -33,8 +33,13 @@ const OFF_IT_FLAGS: u64 = 0;
 const OFF_CAS: u64 = 8;
 const OFF_KEY: u64 = 16;
 const OFF_VALUE: u64 = 24;
-/// Byte size of one slab.
-pub const SLAB_BYTES: u64 = SLAB_HDR_BYTES + ITEMS_PER_SLAB * ITEM_STRIDE;
+/// Byte size of one slab with the default geometry.
+pub const SLAB_BYTES: u64 = slab_bytes(ITEMS_PER_SLAB);
+
+/// Byte size of one slab holding `items_per_slab` items.
+pub const fn slab_bytes(items_per_slab: u64) -> u64 {
+    SLAB_HDR_BYTES + items_per_slab * ITEM_STRIDE
+}
 
 const ITEM_LINKED: u8 = 1;
 
@@ -44,16 +49,29 @@ pub struct Memcached {
     slabs: Addr,
     /// Volatile: next cas value.
     cas_counter: u64,
+    /// Pool geometry (volatile configuration, like memcached's `-m`/`-I`
+    /// flags): slab count and items per slab.
+    num_slabs: u64,
+    items_per_slab: u64,
     /// Volatile: which slabs have been assigned ids.
-    assigned: [bool; NUM_SLABS as usize],
+    assigned: Vec<bool>,
 }
 
 impl Memcached {
-    /// Formats the persistent slab pool (like `pslab_create`).
+    /// Formats the persistent slab pool (like `pslab_create`) with the
+    /// default geometry.
     pub fn format(ctx: &mut Ctx) -> Memcached {
-        let slabs = ctx.alloc_line_aligned(NUM_SLABS * SLAB_BYTES);
-        ctx.memset(slabs, 0, NUM_SLABS * SLAB_BYTES, "pslab format memset");
-        pmem_persist(ctx, slabs, NUM_SLABS * SLAB_BYTES);
+        Memcached::format_sized(ctx, NUM_SLABS, ITEMS_PER_SLAB)
+    }
+
+    /// [`Memcached::format`] with explicit pool geometry. The soak traffic
+    /// generator sizes the pool to its key space so updates reuse item
+    /// slots in place — the bounded-live-state workload.
+    pub fn format_sized(ctx: &mut Ctx, num_slabs: u64, items_per_slab: u64) -> Memcached {
+        let slab_bytes = slab_bytes(items_per_slab);
+        let slabs = ctx.alloc_line_aligned(num_slabs * slab_bytes);
+        ctx.memset(slabs, 0, num_slabs * slab_bytes, "pslab format memset");
+        pmem_persist(ctx, slabs, num_slabs * slab_bytes);
         ctx.store_u64(ctx.root_slot(SLOT_SIGNATURE), SIGNATURE, Atomicity::Plain, "pslab_pool.signature");
         ctx.store_u64(ctx.root_slot(SLOT_SLABS), slabs.raw(), Atomicity::Plain, "pslab_pool.slabs");
         pmem_persist(ctx, ctx.root_slot(SLOT_SIGNATURE), 8);
@@ -65,12 +83,14 @@ impl Memcached {
         Memcached {
             slabs,
             cas_counter: 0,
-            assigned: [false; NUM_SLABS as usize],
+            num_slabs,
+            items_per_slab,
+            assigned: vec![false; num_slabs as usize],
         }
     }
 
     fn slab_addr(&self, slab: u64) -> Addr {
-        self.slabs + slab * SLAB_BYTES
+        self.slabs + slab * slab_bytes(self.items_per_slab)
     }
 
     fn item_addr(&self, slab: u64, item: u64) -> Addr {
@@ -81,7 +101,7 @@ impl Memcached {
     /// id (bug #3), writes the payload, persists it, then writes the racy
     /// `cas` (bug #5) and `it_flags` (bug #4) metadata.
     pub fn set(&mut self, ctx: &mut Ctx, key: u64, value: u64) -> bool {
-        let slab = key % NUM_SLABS;
+        let slab = key % self.num_slabs;
         if !self.assigned[slab as usize] {
             // do_slabs_newslab: assign the slab to a size class.
             let id_addr = self.slab_addr(slab);
@@ -89,7 +109,7 @@ impl Memcached {
             pmem_persist(ctx, id_addr, 4);
             self.assigned[slab as usize] = true;
         }
-        for i in 0..ITEMS_PER_SLAB {
+        for i in 0..self.items_per_slab {
             let item = self.item_addr(slab, i);
             let flags = ctx.load_u8(item + OFF_IT_FLAGS, Atomicity::Plain);
             let existing = ctx.load_u64(item + OFF_KEY, Atomicity::Plain);
@@ -112,8 +132,8 @@ impl Memcached {
     /// Deletes `key` (the `delete` command): unlinking writes the racy
     /// `it_flags` field again.
     pub fn del(&mut self, ctx: &mut Ctx, key: u64) -> bool {
-        let slab = key % NUM_SLABS;
-        for i in 0..ITEMS_PER_SLAB {
+        let slab = key % self.num_slabs;
+        for i in 0..self.items_per_slab {
             let item = self.item_addr(slab, i);
             if ctx.load_u8(item + OFF_IT_FLAGS, Atomicity::Plain) == ITEM_LINKED
                 && ctx.load_u64(item + OFF_KEY, Atomicity::Plain) == key
@@ -128,8 +148,8 @@ impl Memcached {
 
     /// Looks `key` up (the `get` command).
     pub fn get(&self, ctx: &mut Ctx, key: u64) -> Option<u64> {
-        let slab = key % NUM_SLABS;
-        for i in 0..ITEMS_PER_SLAB {
+        let slab = key % self.num_slabs;
+        for i in 0..self.items_per_slab {
             let item = self.item_addr(slab, i);
             if ctx.load_u8(item + OFF_IT_FLAGS, Atomicity::Plain) == ITEM_LINKED
                 && ctx.load_u64(item + OFF_KEY, Atomicity::Plain) == key
@@ -145,6 +165,18 @@ impl Memcached {
     /// race-observing loads of Table 4. Returns the rebuilt server and the
     /// number of recovered items, or `None` if the pool is not valid.
     pub fn restart(ctx: &mut Ctx) -> Option<(Memcached, u64)> {
+        Memcached::restart_sized(ctx, NUM_SLABS, ITEMS_PER_SLAB)
+    }
+
+    /// [`Memcached::restart`] for a pool created by
+    /// [`Memcached::format_sized`]. The geometry is volatile configuration,
+    /// so the restarting server must be told the same sizes it was
+    /// formatted with.
+    pub fn restart_sized(
+        ctx: &mut Ctx,
+        num_slabs: u64,
+        items_per_slab: u64,
+    ) -> Option<(Memcached, u64)> {
         if ctx.load_u8(ctx.root_slot(SLOT_VALID), Atomicity::Plain) != 1 {
             return None;
         }
@@ -159,13 +191,15 @@ impl Memcached {
         let mut server = Memcached {
             slabs,
             cas_counter: 0,
-            assigned: [false; NUM_SLABS as usize],
+            num_slabs,
+            items_per_slab,
+            assigned: vec![false; num_slabs as usize],
         };
         let mut recovered = 0;
-        for s in 0..NUM_SLABS {
+        for s in 0..num_slabs {
             let id = ctx.load_u32(server.slab_addr(s), Atomicity::Plain);
             server.assigned[s as usize] = id != 0;
-            for i in 0..ITEMS_PER_SLAB {
+            for i in 0..items_per_slab {
                 let item = server.item_addr(s, i);
                 if ctx.load_u8(item + OFF_IT_FLAGS, Atomicity::Plain) == ITEM_LINKED {
                     let cas = ctx.load_u64(item + OFF_CAS, Atomicity::Plain);
@@ -178,21 +212,34 @@ impl Memcached {
         Some((server, recovered))
     }
 
-    /// Runs the server loop, draining `wire` until `Quit`.
+    /// Runs the server loop, draining `wire` in batches until `Quit`.
+    ///
+    /// Batching takes the wire's host mutex once per
+    /// [`Wire::drain`] instead of once per command; the simulated
+    /// operations (and hence the engine's event stream) are identical to
+    /// one-at-a-time `recv`, since commands execute in the same FIFO order
+    /// and the scheduler is only consulted when the wire is idle.
     pub fn serve(&mut self, ctx: &mut Ctx, wire: &Wire) {
+        const BATCH: usize = 64;
         loop {
-            match wire.recv() {
-                Some(Command::Set(k, v)) => {
-                    self.set(ctx, k, v);
+            let batch = wire.drain(BATCH);
+            if batch.is_empty() {
+                ctx.sched_yield();
+                continue;
+            }
+            for cmd in batch {
+                match cmd {
+                    Command::Set(k, v) => {
+                        self.set(ctx, k, v);
+                    }
+                    Command::Get(k) => {
+                        let _ = self.get(ctx, k);
+                    }
+                    Command::Del(k) => {
+                        self.del(ctx, k);
+                    }
+                    Command::Quit => return,
                 }
-                Some(Command::Get(k)) => {
-                    let _ = self.get(ctx, k);
-                }
-                Some(Command::Del(k)) => {
-                    self.del(ctx, k);
-                }
-                Some(Command::Quit) => break,
-                None => ctx.sched_yield(),
             }
         }
     }

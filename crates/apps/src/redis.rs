@@ -117,21 +117,32 @@ impl Redis {
         None
     }
 
-    /// Runs the server loop, draining `wire` until `Quit`.
+    /// Runs the server loop, draining `wire` in batches until `Quit`.
+    ///
+    /// Same discipline as [`crate::memcached::Memcached::serve`]: one host
+    /// mutex acquisition per [`Wire::drain`] batch, identical simulated
+    /// operation order, scheduler consulted only when the wire is idle.
     pub fn serve(&mut self, ctx: &mut Ctx, wire: &Wire) {
+        const BATCH: usize = 64;
         loop {
-            match wire.recv() {
-                Some(Command::Set(k, v)) => {
-                    self.set(ctx, k, v);
+            let batch = wire.drain(BATCH);
+            if batch.is_empty() {
+                ctx.sched_yield();
+                continue;
+            }
+            for cmd in batch {
+                match cmd {
+                    Command::Set(k, v) => {
+                        self.set(ctx, k, v);
+                    }
+                    Command::Get(k) => {
+                        let _ = self.get(ctx, k);
+                    }
+                    Command::Del(k) => {
+                        self.del(ctx, k);
+                    }
+                    Command::Quit => return,
                 }
-                Some(Command::Get(k)) => {
-                    let _ = self.get(ctx, k);
-                }
-                Some(Command::Del(k)) => {
-                    self.del(ctx, k);
-                }
-                Some(Command::Quit) => break,
-                None => ctx.sched_yield(),
             }
         }
     }

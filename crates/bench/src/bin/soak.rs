@@ -1,0 +1,259 @@
+//! Streaming soak benchmark: sustained-throughput detection over a
+//! multi-million-event zipfian traffic run, proving the bounded-memory
+//! claim of the streaming epoch GC.
+//!
+//! Three measurements, written to `BENCH_soak.json`:
+//!
+//! 1. **Plateau**: the same workload at 1/12th scale and at full scale,
+//!    GC on. Total simulated events must grow >= 10x while the peak live
+//!    event-table slots and detector flushmap entries stay flat — memory
+//!    tracks *live state*, not trace length.
+//! 2. **Equivalence**: GC on vs GC off at `--compare-ops` scale (bounded,
+//!    because the un-GC'd run holds the whole trace). The detector
+//!    reports, crash points, and operation counters must match exactly.
+//! 3. **Throughput**: sustained events/s of the full-scale GC-on run with
+//!    the Yashme detector attached, reported next to the memperf
+//!    microbenchmark's raw memory-subsystem number for context.
+//!
+//! Usage: `soak [--ops N] [--clients N] [--keys N] [--zipf S] [--batch N]
+//! [--seed N] [--backend memcached|redis] [--compare-ops N] [--out PATH]`
+//!
+//! Exits nonzero if the GC-on and GC-off runs disagree.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use apps::traffic::{soak_program, Backend, TrafficConfig};
+use jaaru::{Engine, EngineConfig, PersistencePolicy, SchedPolicy, SingleRun};
+use yashme::YashmeConfig;
+
+/// Simulated events the run generated (the denominator of events/s).
+fn total_events(run: &SingleRun) -> u64 {
+    let s = &run.stats;
+    s.stores_executed + s.loads + s.flushes + s.fences + s.cas_ops
+}
+
+/// One detector-attached soak run under `config`.
+fn run_soak(cfg: TrafficConfig, seed: u64, config: &EngineConfig) -> (SingleRun, Duration) {
+    let program = soak_program(cfg);
+    let start = Instant::now();
+    let run = Engine::run_single_with(
+        &program,
+        SchedPolicy::RandomChoice,
+        PersistencePolicy::Random,
+        seed,
+        None,
+        bench::boxed_detector(YashmeConfig::default()),
+        config,
+    );
+    (run, start.elapsed())
+}
+
+/// The comparable face of a run: everything the determinism contract
+/// covers (reports, crash symptoms, crash points, operation counters) and
+/// nothing physical (wall time, GC bookkeeping).
+fn logical_fingerprint(run: &SingleRun) -> String {
+    format!(
+        "{:?}\n{:?}\n{:?}\n{:?}",
+        run.reports, run.panics, run.points, run.stats
+    )
+}
+
+/// Pulls `"optimized_events_per_s": N` out of `BENCH_memperf.json` if the
+/// file is around, for the side-by-side context line.
+fn memperf_reference() -> Option<f64> {
+    let text = std::fs::read_to_string("BENCH_memperf.json").ok()?;
+    let tail = text.split("\"optimized_events_per_s\":").nth(1)?;
+    tail.split([',', '}'])
+        .next()?
+        .trim()
+        .parse()
+        .ok()
+}
+
+fn main() {
+    let mut cfg = TrafficConfig {
+        clients: 4,
+        ops_per_client: 100_000,
+        keys: 256,
+        ..TrafficConfig::default()
+    };
+    let mut total_ops = 400_000u64;
+    let mut compare_ops = 40_000u64;
+    let mut seed = bench::HARNESS_SEED;
+    let mut out = String::from("BENCH_soak.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--ops" => {
+                total_ops = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(total_ops)
+            }
+            "--clients" => {
+                cfg.clients = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(cfg.clients)
+            }
+            "--keys" => cfg.keys = args.next().and_then(|v| v.parse().ok()).unwrap_or(cfg.keys),
+            "--zipf" => {
+                cfg.zipf_exponent = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(cfg.zipf_exponent)
+            }
+            "--batch" => {
+                cfg.batch = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(cfg.batch)
+            }
+            "--seed" => seed = args.next().and_then(|v| v.parse().ok()).unwrap_or(seed),
+            "--compare-ops" => {
+                compare_ops = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(compare_ops)
+            }
+            "--backend" => {
+                if let Some(b) = args.next().as_deref().and_then(Backend::parse) {
+                    cfg.backend = b;
+                }
+            }
+            "--out" => out = args.next().unwrap_or(out),
+            _ => {}
+        }
+    }
+    cfg.clients = cfg.clients.max(1);
+    cfg.ops_per_client = (total_ops / cfg.clients as u64).max(1);
+    let small = TrafficConfig {
+        ops_per_client: (cfg.ops_per_client / 12).max(1),
+        ..cfg
+    };
+    let compare = TrafficConfig {
+        ops_per_client: (compare_ops / cfg.clients as u64).max(1),
+        ..cfg
+    };
+
+    println!(
+        "Soak: backend {}, {} clients x {} ops, {} keys, zipf {}",
+        cfg.backend.name(),
+        cfg.clients,
+        cfg.ops_per_client,
+        cfg.keys,
+        cfg.zipf_exponent
+    );
+
+    // 1. Plateau: 1/12th scale vs full scale, GC on (the default config).
+    let gc_on = EngineConfig::default();
+    let (small_run, _) = run_soak(small, seed, &gc_on);
+    let (full_run, full_time) = run_soak(cfg, seed, &gc_on);
+    let small_events = total_events(&small_run);
+    let full_events = total_events(&full_run);
+    let event_growth = full_events as f64 / small_events.max(1) as f64;
+    let peak_growth =
+        full_run.gc.peak_live_events as f64 / small_run.gc.peak_live_events.max(1) as f64;
+    let bounded = event_growth >= 10.0 && peak_growth <= 1.5;
+
+    println!();
+    println!("{:<12}\tEvents\tPeak slots\tFlushmap peak", "Scale");
+    println!(
+        "{:<12}\t{}\t{}\t{}",
+        "small", small_events, small_run.gc.peak_live_events, small_run.gc.flushmap_peak
+    );
+    println!(
+        "{:<12}\t{}\t{}\t{}",
+        "full", full_events, full_run.gc.peak_live_events, full_run.gc.flushmap_peak
+    );
+    println!(
+        "event growth {event_growth:.2}x, peak-slot growth {peak_growth:.2}x, bounded: {bounded}"
+    );
+
+    // 2. Equivalence: GC on vs GC off at the bounded comparison scale.
+    let (cmp_on, _) = run_soak(compare, seed, &gc_on);
+    let (cmp_off, _) = run_soak(compare, seed, &EngineConfig::default().with_gc(false));
+    let reports_identical = logical_fingerprint(&cmp_on) == logical_fingerprint(&cmp_off);
+    println!();
+    println!(
+        "GC-on vs GC-off at {} ops: reports identical: {reports_identical}",
+        compare.total_ops()
+    );
+
+    // 3. Throughput of the full-scale GC-on run.
+    let eps = full_events as f64 / full_time.as_secs_f64().max(1e-9);
+    let memperf = memperf_reference();
+    println!();
+    println!(
+        "sustained: {eps:.0} events/s with detector + GC ({} events in {full_time:.3?})",
+        full_events
+    );
+    if let Some(m) = memperf {
+        println!("memperf raw memory-subsystem reference: {m:.0} events/s");
+    }
+    println!(
+        "gc: {} passes, {} events retired, {} slots reused",
+        full_run.gc.passes, full_run.gc.events_retired, full_run.gc.slots_reused
+    );
+
+    // serde is stubbed out in this offline build; render the JSON by hand.
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"backend\": \"{}\",", cfg.backend.name());
+    let _ = writeln!(json, "  \"clients\": {},", cfg.clients);
+    let _ = writeln!(json, "  \"ops\": {},", cfg.total_ops());
+    let _ = writeln!(json, "  \"keys\": {},", cfg.keys);
+    let _ = writeln!(json, "  \"zipf\": {},", cfg.zipf_exponent);
+    let _ = writeln!(json, "  \"seed\": {seed},");
+    let _ = writeln!(json, "  \"small_events\": {small_events},");
+    let _ = writeln!(json, "  \"full_events\": {full_events},");
+    let _ = writeln!(json, "  \"event_growth\": {event_growth:.2},");
+    let _ = writeln!(
+        json,
+        "  \"small_peak_live_events\": {},",
+        small_run.gc.peak_live_events
+    );
+    let _ = writeln!(
+        json,
+        "  \"full_peak_live_events\": {},",
+        full_run.gc.peak_live_events
+    );
+    let _ = writeln!(
+        json,
+        "  \"small_flushmap_peak\": {},",
+        small_run.gc.flushmap_peak
+    );
+    let _ = writeln!(
+        json,
+        "  \"full_flushmap_peak\": {},",
+        full_run.gc.flushmap_peak
+    );
+    let _ = writeln!(json, "  \"peak_growth\": {peak_growth:.2},");
+    let _ = writeln!(json, "  \"bounded\": {bounded},");
+    let _ = writeln!(json, "  \"gc_passes\": {},", full_run.gc.passes);
+    let _ = writeln!(
+        json,
+        "  \"events_retired\": {},",
+        full_run.gc.events_retired
+    );
+    let _ = writeln!(
+        json,
+        "  \"flushes_retired\": {},",
+        full_run.gc.flushes_retired
+    );
+    let _ = writeln!(json, "  \"slots_reused\": {},", full_run.gc.slots_reused);
+    let _ = writeln!(json, "  \"compare_ops\": {},", compare.total_ops());
+    let _ = writeln!(json, "  \"reports_identical\": {reports_identical},");
+    let _ = writeln!(json, "  \"sustained_events_per_s\": {eps:.0},");
+    let _ = writeln!(
+        json,
+        "  \"memperf_events_per_s\": {}",
+        memperf.map_or_else(|| "null".to_owned(), |m| format!("{m:.0}"))
+    );
+    json.push_str("}\n");
+    std::fs::write(&out, json).expect("write benchmark json");
+    println!("wrote {out}");
+    if !reports_identical {
+        std::process::exit(1);
+    }
+}

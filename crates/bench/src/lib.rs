@@ -84,11 +84,14 @@ pub const HARNESS_SEED: u64 = 15;
 /// exploration (full re-execution per crash point; same report, slower).
 /// `--no-prune` disables crash-state equivalence pruning (every crash
 /// point's suffix resumed individually; same report, slower).
+/// `--no-gc` disables streaming epoch GC (memory then grows with trace
+/// length instead of live state; same report, fatter).
 /// Reports are identical at every worker count and in every mode.
 pub fn cli_engine_config() -> EngineConfig {
     let mut config = None;
     let mut fork = true;
     let mut prune = true;
+    let mut gc = true;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if arg == "--no-fork" {
@@ -97,6 +100,10 @@ pub fn cli_engine_config() -> EngineConfig {
         }
         if arg == "--no-prune" {
             prune = false;
+            continue;
+        }
+        if arg == "--no-gc" {
+            gc = false;
             continue;
         }
         let value = if arg == "--workers" {
@@ -120,6 +127,9 @@ pub fn cli_engine_config() -> EngineConfig {
     }
     if !prune {
         config = config.with_prune(false);
+    }
+    if !gc {
+        config = config.with_gc(false);
     }
     config
 }

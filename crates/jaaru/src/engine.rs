@@ -18,9 +18,9 @@ use rand::{Rng, SeedableRng};
 
 use crate::ctx::spawn_task;
 use crate::mem::{MemState, PersistencePolicy};
-use crate::report::{ForkStats, PruneStats, RaceReport, RunReport};
+use crate::report::{ForkStats, GcStats, PruneStats, RaceReport, RunReport};
 use crate::sched::{Core, CrashCtl, PointRecord, SchedPolicy, Shared, Snapshot, SnapshotLog};
-use crate::sink::{EventSink, NullSink, SpanTraceSink};
+use crate::sink::{EventSink, GcParanoidSink, NullSink, SpanTraceSink};
 use crate::Program;
 
 /// Configuration of model-checking mode: systematic crash injection before
@@ -121,6 +121,39 @@ pub struct EngineConfig {
     /// a correctness harness, not a production mode
     /// (`YASHME_PRUNE_PARANOID=1`).
     pub prune_paranoid: bool,
+    /// Streaming epoch GC (on by default).
+    ///
+    /// Every [`gc_every`](EngineConfig::gc_every) committed stores the
+    /// memory system retires state no future event can observe: store
+    /// events below the fully-persisted frontier leave the event table
+    /// (their slots are reused), drained line-log entries materialize into
+    /// the image eagerly, spent flush events are dropped, and the sink is
+    /// told via [`EventSink::on_stores_retired`] so detectors can shed
+    /// their `flushmap` entries too. Memory then scales with *live* state
+    /// rather than trace length, which is what makes multi-million-event
+    /// soak runs possible. Reports, traces, and fingerprints are
+    /// byte-identical with GC on or off; switch off via `--no-gc` /
+    /// `YASHME_GC=0` to compare.
+    pub gc: bool,
+    /// Commits between streaming-GC mark-sweep passes (default 4096).
+    ///
+    /// Retirement work is proportional to live state, so a larger period
+    /// amortizes better but holds garbage longer; the floor-raise
+    /// materialization that *bounds* memory is eager and independent of
+    /// this knob.
+    pub gc_every: u32,
+    /// Paranoid GC verification (off by default): run a second, never-
+    /// retired detector in lockstep and assert both halves drain identical
+    /// reports (`YASHME_GC_PARANOID=1`). Costs the memory GC saves — a
+    /// correctness harness, not a production mode.
+    pub gc_paranoid: bool,
+    /// Periodic crash-point sampling (off by default; `0`/`1` explore every
+    /// point). With `sample_every = N > 1`, model checking injects crashes
+    /// only at every Nth discovered crash point — the soak-scale trade:
+    /// long traces have millions of crash points, and exhaustive
+    /// exploration of all of them is neither affordable nor (for
+    /// throughput measurement) interesting.
+    pub sample_every: u32,
 }
 
 impl Default for EngineConfig {
@@ -131,6 +164,10 @@ impl Default for EngineConfig {
             fork: true,
             prune: true,
             prune_paranoid: false,
+            gc: true,
+            gc_every: 4096,
+            gc_paranoid: false,
+            sample_every: 0,
         }
     }
 }
@@ -175,6 +212,32 @@ impl EngineConfig {
         self
     }
 
+    /// Returns a copy with streaming epoch GC switched on or off.
+    pub fn with_gc(mut self, gc: bool) -> Self {
+        self.gc = gc;
+        self
+    }
+
+    /// Returns a copy with the GC mark-sweep period set to `every` commits
+    /// (clamped to at least 1).
+    pub fn with_gc_every(mut self, every: u32) -> Self {
+        self.gc_every = every.max(1);
+        self
+    }
+
+    /// Returns a copy with paranoid GC verification switched on or off.
+    pub fn with_gc_paranoid(mut self, paranoid: bool) -> Self {
+        self.gc_paranoid = paranoid;
+        self
+    }
+
+    /// Returns a copy exploring only every `every`th crash point (`0` or
+    /// `1` explore every point).
+    pub fn with_sample_every(mut self, every: u32) -> Self {
+        self.sample_every = every;
+        self
+    }
+
     /// Reads engine configuration from the environment:
     ///
     /// * `YASHME_WORKERS` — a worker count, or `auto`/`0` for one worker per
@@ -186,6 +249,12 @@ impl EngineConfig {
     ///   equivalence pruning (any other value, or unset, leaves it on).
     /// * `YASHME_PRUNE_PARANOID` — `1`/`true`/`on` enables paranoid
     ///   pruning verification.
+    /// * `YASHME_GC` — `0`/`false`/`off` disables streaming epoch GC.
+    /// * `YASHME_GC_EVERY` — commits between GC passes (default 4096).
+    /// * `YASHME_GC_PARANOID` — `1`/`true`/`on` enables the lockstep
+    ///   un-GC'd shadow detector.
+    /// * `YASHME_SAMPLE_EVERY` — explore only every Nth crash point
+    ///   (unset, `0`, or `1`: every point).
     pub fn from_env() -> Self {
         let mut config = match std::env::var("YASHME_WORKERS") {
             Ok(v) if v.eq_ignore_ascii_case("auto") => EngineConfig::with_workers(0),
@@ -204,9 +273,31 @@ impl EngineConfig {
                 config.prune = false;
             }
         }
+        let on =
+            |v: &str| v == "1" || v.eq_ignore_ascii_case("true") || v.eq_ignore_ascii_case("on");
         if let Ok(v) = std::env::var("YASHME_PRUNE_PARANOID") {
-            if v == "1" || v.eq_ignore_ascii_case("true") || v.eq_ignore_ascii_case("on") {
+            if on(&v) {
                 config.prune_paranoid = true;
+            }
+        }
+        if let Ok(v) = std::env::var("YASHME_GC") {
+            if off(&v) {
+                config.gc = false;
+            }
+        }
+        if let Ok(v) = std::env::var("YASHME_GC_EVERY") {
+            if let Ok(n) = v.parse::<u32>() {
+                config.gc_every = n.max(1);
+            }
+        }
+        if let Ok(v) = std::env::var("YASHME_GC_PARANOID") {
+            if on(&v) {
+                config.gc_paranoid = true;
+            }
+        }
+        if let Ok(v) = std::env::var("YASHME_SAMPLE_EVERY") {
+            if let Ok(n) = v.parse::<u32>() {
+                config.sample_every = n;
             }
         }
         config
@@ -241,6 +332,8 @@ pub struct SingleRun {
     pub trace: Option<obs::TraceBuf>,
     /// Checkpoint/fork bookkeeping (zero for full re-executions).
     pub fork: ForkStats,
+    /// Streaming-GC bookkeeping and live-state gauges (zero with GC off).
+    pub gc: GcStats,
 }
 
 /// Builds a fresh event sink for each simulated run. `Sync` because the
@@ -299,6 +392,7 @@ struct RunAccumulator {
     stats: crate::mem::ExecStats,
     fork: ForkStats,
     prune: PruneStats,
+    gc: GcStats,
     /// Trace lanes fill in run order (profile first, then crash targets)
     /// — never in worker-completion order — so the merged trace is
     /// byte-identical at every worker count.
@@ -314,6 +408,7 @@ impl RunAccumulator {
             stats: crate::mem::ExecStats::default(),
             fork: ForkStats::default(),
             prune: PruneStats::default(),
+            gc: GcStats::default(),
             trace: trace.then(obs::RunTrace::new),
         }
     }
@@ -322,6 +417,7 @@ impl RunAccumulator {
         self.executions += 1;
         self.stats.absorb(&run.stats);
         self.fork.absorb(&run.fork);
+        self.gc.absorb(&run.gc);
         if let Some(t) = self.trace.as_mut() {
             t.push_run(run.trace.take().unwrap_or_default());
         }
@@ -381,8 +477,10 @@ impl Engine {
                 } else {
                     0
                 };
-                let snaplog = (capture_phases > 0)
-                    .then(|| SnapshotLog::new(capture_phases, config.prune, config.prune_paranoid));
+                let sample = config.sample_every as usize;
+                let snaplog = (capture_phases > 0).then(|| {
+                    SnapshotLog::new(capture_phases, config.prune, config.prune_paranoid, sample)
+                });
                 let (profile, _, log) = Self::run_inner(
                     program,
                     profile_spec.policy,
@@ -392,6 +490,7 @@ impl Engine {
                     Self::make_sink(sink_factory, config),
                     Vec::new(),
                     snaplog,
+                    Self::gc_period(config),
                 );
                 crash_points = profile.points.iter().sum();
                 let phase0_points = profile.points.first().copied().unwrap_or(0);
@@ -399,10 +498,17 @@ impl Engine {
                 let profile_points = profile.points.clone();
                 acc.absorb_run(profile);
 
-                // One run per crash target, in target order.
-                let mut targets: Vec<(usize, usize)> = (0..phase0_points).map(|t| (0, t)).collect();
+                // One run per crash target, in target order. With sampling,
+                // only every `sample`th point is targeted — matching the
+                // points the snapshot log observed, so `records` and
+                // `targets` stay index-aligned.
+                let sampled = |t: usize| sample <= 1 || t.is_multiple_of(sample);
+                let mut targets: Vec<(usize, usize)> = (0..phase0_points)
+                    .filter(|&t| sampled(t))
+                    .map(|t| (0, t))
+                    .collect();
                 if cfg.crash_in_recovery {
-                    targets.extend((0..phase1_points).map(|t| (1, t)));
+                    targets.extend((0..phase1_points).filter(|&t| sampled(t)).map(|t| (1, t)));
                 }
                 Self::sample_queue_depth(&mut queue_depth, targets.len());
                 // Resume from snapshots when the profiling run captured a
@@ -474,6 +580,7 @@ impl Engine {
                         crash_target: None,
                     },
                     Self::make_sink(sink_factory, config),
+                    config,
                 );
                 crash_points = profile.points.iter().sum();
                 let est = profile.points.first().copied().unwrap_or(0);
@@ -515,6 +622,7 @@ impl Engine {
             stats,
             fork,
             prune,
+            gc,
             mut trace,
         } = acc;
         if let Some(t) = trace.as_mut() {
@@ -548,9 +656,16 @@ impl Engine {
             stats,
             fork,
             prune,
+            gc,
             queue_depth,
             trace,
         )
+    }
+
+    /// The memory system's GC period under `config`: `Some(commits)` when
+    /// streaming GC is on, `None` otherwise.
+    fn gc_period(config: &EngineConfig) -> Option<u64> {
+        config.gc.then_some(config.gc_every.max(1) as u64)
     }
 
     /// Partitions profiled crash points into crash-state equivalence
@@ -666,6 +781,9 @@ impl Engine {
                 suffix_events: rep.fork.suffix_events,
                 ..ForkStats::default()
             },
+            // Physical GC work happened once, in the representative's run;
+            // attributing it again would double-count.
+            gc: GcStats::default(),
         }
     }
 
@@ -681,13 +799,21 @@ impl Engine {
         )
     }
 
-    /// Builds the per-run sink: the factory's sink, wrapped in a
-    /// [`SpanTraceSink`] when tracing is on.
+    /// Builds the per-run sink: the factory's sink — doubled into a
+    /// lockstep [`GcParanoidSink`] pair under paranoid GC — wrapped in a
+    /// [`SpanTraceSink`] when tracing is on. The trace wrapper goes
+    /// *outside* the paranoid pair so the virtual clock ticks once per
+    /// logical event, not per half.
     fn make_sink(sink_factory: SinkFactory<'_>, config: &EngineConfig) -> Box<dyn EventSink> {
-        if config.trace {
-            Box::new(SpanTraceSink::new(sink_factory()))
+        let inner: Box<dyn EventSink> = if config.gc && config.gc_paranoid {
+            Box::new(GcParanoidSink::new(sink_factory(), sink_factory()))
         } else {
             sink_factory()
+        };
+        if config.trace {
+            Box::new(SpanTraceSink::new(inner))
+        } else {
+            inner
         }
     }
 
@@ -782,7 +908,8 @@ impl Engine {
     }
 
     /// Runs every phase of `program` once with the given scheduling policy,
-    /// persistence policy, seed, and optional `(phase, point)` crash target.
+    /// persistence policy, seed, and optional `(phase, point)` crash
+    /// target, under default engine configuration (streaming GC on).
     pub fn run_single(
         program: &Program,
         policy: SchedPolicy,
@@ -790,6 +917,29 @@ impl Engine {
         seed: u64,
         crash_target: Option<(usize, usize)>,
         sink: Box<dyn EventSink>,
+    ) -> SingleRun {
+        Self::run_single_with(
+            program,
+            policy,
+            persistence,
+            seed,
+            crash_target,
+            sink,
+            &EngineConfig::default(),
+        )
+    }
+
+    /// [`Engine::run_single`] with explicit engine configuration (the soak
+    /// harness uses this to flip streaming GC per run).
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_single_with(
+        program: &Program,
+        policy: SchedPolicy,
+        persistence: PersistencePolicy,
+        seed: u64,
+        crash_target: Option<(usize, usize)>,
+        sink: Box<dyn EventSink>,
+        config: &EngineConfig,
     ) -> SingleRun {
         Self::run_inner(
             program,
@@ -800,19 +950,26 @@ impl Engine {
             sink,
             Vec::new(),
             None,
+            Self::gc_period(config),
         )
         .0
     }
 
     /// [`Engine::run_single`] over a [`RunSpec`].
-    fn run_spec(program: &Program, spec: RunSpec, sink: Box<dyn EventSink>) -> SingleRun {
-        Self::run_single(
+    fn run_spec(
+        program: &Program,
+        spec: RunSpec,
+        sink: Box<dyn EventSink>,
+        config: &EngineConfig,
+    ) -> SingleRun {
+        Self::run_single_with(
             program,
             spec.policy,
             spec.persistence,
             spec.seed,
             spec.crash_target,
             sink,
+            config,
         )
     }
 
@@ -828,7 +985,7 @@ impl Engine {
         config: &EngineConfig,
     ) -> Vec<SingleRun> {
         Self::fan_out(specs, workers, |spec| {
-            Self::run_spec(program, spec, Self::make_sink(sink_factory, config))
+            Self::run_spec(program, spec, Self::make_sink(sink_factory, config), config)
         })
     }
 
@@ -851,6 +1008,7 @@ impl Engine {
                 sink_factory(),
                 script,
                 None,
+                Self::gc_period(&EngineConfig::default()),
             );
             (run, log)
         })
@@ -914,9 +1072,13 @@ impl Engine {
         sink: Box<dyn EventSink>,
         script: Vec<usize>,
         snaplog: Option<SnapshotLog>,
+        gc_every: Option<u64>,
     ) -> (SingleRun, Vec<(usize, usize)>, Option<SnapshotLog>) {
         install_quiet_panic_hook();
-        let mem = MemState::new(program.compiler(), program.heap_bytes());
+        let mut mem = MemState::new(program.compiler(), program.heap_bytes());
+        if let Some(every) = gc_every {
+            mem.enable_gc(every);
+        }
         let shared = Arc::new(Shared::new(mem, sink, policy, StdRng::seed_from_u64(seed)));
         shared.with_core(|core| {
             core.sched.script = script;
@@ -983,6 +1145,20 @@ impl Engine {
     ) -> (SingleRun, Vec<(usize, usize)>, Option<SnapshotLog>) {
         shared.with_core(|core| {
             let (cow_clones, cow_bytes) = core.mem.cow_stats();
+            // Fold the sink's live-state gauges (detector flushmap residency)
+            // into the memory system's GC stats; gauges merge by max so the
+            // aggregate across runs reports the worst resident footprint.
+            let mut gc = GcStats::default();
+            if core.mem.gc_enabled() {
+                gc = core.mem.gc_stats();
+                for (name, value) in core.sink.live_gauges() {
+                    if name == obs::names::DETECTOR_FLUSHMAP_LIVE {
+                        gc.flushmap_live = gc.flushmap_live.max(value);
+                    } else if name == obs::names::DETECTOR_FLUSHMAP_PEAK {
+                        gc.flushmap_peak = gc.flushmap_peak.max(value);
+                    }
+                }
+            }
             (
                 SingleRun {
                     reports: core.sink.drain_reports(),
@@ -995,6 +1171,7 @@ impl Engine {
                         cow_bytes,
                         ..ForkStats::default()
                     },
+                    gc,
                 },
                 std::mem::take(&mut core.sched.choice_log),
                 core.snaplog.take(),

@@ -60,9 +60,11 @@ pub use engine::{
 pub use event::{EventId, ExecId, FlushEvent, FlushKind, Label, LoadInfo, StoreEvent};
 pub use mem::{ExecState, ExecStats, LoadOutcome, MemState, PersistencePolicy, ROOT_REGION_BYTES};
 pub use program::{PhaseFn, Program};
-pub use report::{ForkStats, PruneStats, RaceProvenance, RaceReport, ReportKind, RunReport};
+pub use report::{
+    ForkStats, GcStats, PruneStats, RaceProvenance, RaceReport, ReportKind, RunReport,
+};
 pub use sched::SchedPolicy;
-pub use sink::{EventSink, NullSink, SpanTraceSink, TeeSink, TraceSink};
+pub use sink::{EventSink, GcParanoidSink, NullSink, SpanTraceSink, TeeSink, TraceSink};
 
 // Re-exported so downstream crates get the full vocabulary from one place.
 pub use obs;

@@ -43,6 +43,35 @@ pub enum PersistencePolicy {
     Random,
 }
 
+/// One cache line's committed-store log, with a retired prefix.
+///
+/// Logical indexes run `0..logical_len()`; the persistence floors in
+/// [`ExecState::persisted_upto`] are always logical. Streaming GC drains the
+/// already-persisted prefix into the persistent image as the floor rises
+/// (`retired` counts the drained entries, and is therefore always ≤ the
+/// floor), so only entries a future crash cut or candidate scan can still
+/// distinguish stay resident. With GC off `retired` stays 0 and the log is
+/// exactly the old flat `Vec<EventId>`.
+#[derive(Debug, Clone, Default)]
+struct LineLog {
+    /// Length of the logical prefix already materialized into the image.
+    retired: usize,
+    /// Retained committed stores, in cache (seq) order: these sit at logical
+    /// indexes `retired..retired + order.len()`.
+    order: Vec<EventId>,
+}
+
+impl LineLog {
+    fn logical_len(&self) -> usize {
+        self.retired + self.order.len()
+    }
+
+    /// Retained entries at logical index `from` and above.
+    fn suffix_from(&self, from: usize) -> &[EventId] {
+        &self.order[(from.max(self.retired) - self.retired).min(self.order.len())..]
+    }
+}
+
 /// Per-execution storage state: the volatile cache and its bookkeeping.
 #[derive(Debug, Default)]
 pub struct ExecState {
@@ -54,9 +83,9 @@ pub struct ExecState {
     /// as per-line slabs so a whole line resolves with one lookup.
     store_map: ProvenanceMap,
     /// Committed stores per line, in cache (seq) order.
-    line_order: HashMap<CacheLineId, Vec<EventId>>,
-    /// Per line, the length of the `line_order` prefix that is *definitely*
-    /// persisted (forced by committed `clflush` / fenced `clwb`).
+    line_order: HashMap<CacheLineId, LineLog>,
+    /// Per line, the *logical* length of the `line_order` prefix that is
+    /// definitely persisted (forced by committed `clflush` / fenced `clwb`).
     persisted_upto: HashMap<CacheLineId, usize>,
 }
 
@@ -81,44 +110,129 @@ impl Forkable for ExecState {
     }
 }
 
-/// Dense store-event table indexed by [`EventId`]. Ids come from the
-/// shared per-run counter (which also numbers flushes and fences) and are
-/// never reused, so a slot-per-id vector turns the hottest lookups — load
-/// segments, acquire joins, candidate scans, commits — into a bounds-checked
-/// array index instead of a hash probe.
+/// Store-event table indexed by [`EventId`].
+///
+/// Two layouts behind the same id-keyed interface:
+///
+/// * **Dense** (default): ids come from the shared per-run counter (which
+///   also numbers flushes and fences) and are never reused, so a
+///   slot-per-id vector turns the hottest lookups — load segments, acquire
+///   joins, candidate scans, commits — into a bounds-checked array index
+///   instead of a hash probe. Memory is O(total events).
+/// * **Indexed** (streaming GC): an id → slot map plus a free list lets
+///   retired events give their slots back, so resident slots track the
+///   *live* set rather than the run's history. The [`EventId`] indirection
+///   means no caller can tell the difference.
 #[derive(Default, Clone)]
 struct EventTable {
     slots: Vec<Option<StoreEvent>>,
     stores: usize,
+    /// Indexed (streaming) mode: where each live id's event lives.
+    index: Option<HashMap<EventId, u32>>,
+    /// Retired slots awaiting reuse (indexed mode only).
+    free: Vec<u32>,
+    /// High-water mark of live entries.
+    peak: usize,
+    /// Slots handed out again after retirement (indexed mode only).
+    reused: u64,
 }
 
 impl EventTable {
+    /// Switches to the indexed layout. Must precede any insertion.
+    fn enable_indexing(&mut self) {
+        assert!(self.slots.is_empty(), "enable indexing before any events");
+        self.index = Some(HashMap::new());
+    }
+
     fn insert(&mut self, id: EventId, event: StoreEvent) {
-        let idx = id as usize;
-        if idx >= self.slots.len() {
-            // Ids arrive nearly in order; grow with headroom so the table
-            // doubles rather than reallocating per event.
-            self.slots
-                .resize_with((idx + 1).next_power_of_two(), || None);
+        match &mut self.index {
+            Some(index) => {
+                let slot = match self.free.pop() {
+                    Some(s) => {
+                        self.reused += 1;
+                        self.slots[s as usize] = Some(event);
+                        s
+                    }
+                    None => {
+                        self.slots.push(Some(event));
+                        (self.slots.len() - 1) as u32
+                    }
+                };
+                let prev = index.insert(id, slot);
+                debug_assert!(prev.is_none(), "event ids are never reused");
+                self.stores += 1;
+            }
+            None => {
+                let idx = id as usize;
+                if idx >= self.slots.len() {
+                    // Ids arrive nearly in order; grow with headroom so the
+                    // table doubles rather than reallocating per event.
+                    self.slots
+                        .resize_with((idx + 1).next_power_of_two(), || None);
+                }
+                self.stores += usize::from(self.slots[idx].is_none());
+                self.slots[idx] = Some(event);
+            }
         }
-        self.stores += usize::from(self.slots[idx].is_none());
-        self.slots[idx] = Some(event);
+        self.peak = self.peak.max(self.stores);
+    }
+
+    fn slot_of(&self, id: EventId) -> usize {
+        match &self.index {
+            Some(index) => index[&id] as usize,
+            None => id as usize,
+        }
     }
 
     fn get(&self, id: EventId) -> &StoreEvent {
-        self.slots[id as usize]
+        self.slots[self.slot_of(id)]
             .as_ref()
             .expect("store event exists")
     }
 
     fn get_mut(&mut self, id: EventId) -> &mut StoreEvent {
-        self.slots[id as usize]
+        let slot = self.slot_of(id);
+        self.slots[slot].as_mut().expect("store event exists")
+    }
+
+    /// Frees `id`'s slot for reuse (indexed mode only; unknown ids are
+    /// ignored so sweeps may be re-applied idempotently).
+    fn retire(&mut self, id: EventId) {
+        let index = self
+            .index
             .as_mut()
-            .expect("store event exists")
+            .expect("retirement requires the indexed layout");
+        if let Some(slot) = index.remove(&id) {
+            debug_assert!(self.slots[slot as usize].is_some());
+            self.slots[slot as usize] = None;
+            self.free.push(slot);
+            self.stores -= 1;
+        }
+    }
+
+    /// Every live id, in unspecified order (callers sort).
+    fn live_ids(&self) -> Vec<EventId> {
+        match &self.index {
+            Some(index) => index.keys().copied().collect(),
+            None => self
+                .slots
+                .iter()
+                .enumerate()
+                .filter_map(|(i, s)| s.as_ref().map(|_| i as EventId))
+                .collect(),
+        }
     }
 
     fn len(&self) -> usize {
         self.stores
+    }
+
+    fn peak_live(&self) -> usize {
+        self.peak
+    }
+
+    fn reused(&self) -> u64 {
+        self.reused
     }
 }
 
@@ -158,6 +272,14 @@ pub struct MemState {
     pub alloc: PmAllocator,
     /// Operation counters.
     pub stats: ExecStats,
+    /// Streaming GC: run a mark-sweep pass every this many committed stores
+    /// (`None` = GC off, the default for directly constructed states).
+    gc_every: Option<u64>,
+    /// Committed stores since the last GC pass.
+    commits_since_gc: u64,
+    /// Retirement counters (live/peak gauges are filled in by
+    /// [`MemState::gc_stats`] from the event table).
+    gc: crate::report::GcStats,
     /// Rolling crash-state fingerprint: a hash over every event so far that
     /// changes what a crash at this instant would leave behind (committed
     /// stores, persistence-floor raises, thread registrations, allocations,
@@ -196,6 +318,9 @@ impl Forkable for MemState {
             bypass_scratch: Vec::new(),
             alloc: self.alloc.clone(),
             stats: self.stats,
+            gc_every: self.gc_every,
+            commits_since_gc: self.commits_since_gc,
+            gc: self.gc,
             fp: self.fp,
         }
     }
@@ -327,8 +452,43 @@ impl MemState {
             bypass_scratch: Vec::new(),
             alloc: PmAllocator::new(Addr::BASE + ROOT_REGION_BYTES, heap_bytes),
             stats: ExecStats::default(),
+            gc_every: None,
+            commits_since_gc: 0,
+            gc: crate::report::GcStats::default(),
             fp: pmem::Fp64::new(),
         }
+    }
+
+    /// Switches this memory system into streaming mode: store events whose
+    /// persistence is fully decided are retired by a mark-sweep pass every
+    /// `every` committed stores, and the already-persisted prefix of each
+    /// line's committed-store log is drained into the persistent image as
+    /// the persistence floor rises. Observable behavior — load values,
+    /// reported races, crash-state fingerprints, RNG consumption — is
+    /// byte-identical with GC on or off; only memory residency changes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any event has already executed (the event table must adopt
+    /// its indexed layout before the first insertion).
+    pub fn enable_gc(&mut self, every: u64) {
+        assert!(self.next_event == 1, "enable_gc before any events");
+        self.gc_every = Some(every.max(1));
+        self.events.enable_indexing();
+    }
+
+    /// Whether streaming GC is on.
+    pub fn gc_enabled(&self) -> bool {
+        self.gc_every.is_some()
+    }
+
+    /// Retirement counters plus current live/peak event-table gauges.
+    pub fn gc_stats(&self) -> crate::report::GcStats {
+        let mut gc = self.gc;
+        gc.live_events = self.events.len() as u64;
+        gc.peak_live_events = self.events.peak_live() as u64;
+        gc.slots_reused = self.events.reused();
+        gc
     }
 
     /// The current rolling crash-state fingerprint (see the field docs).
@@ -668,7 +828,7 @@ impl MemState {
                 let event = events.get(s.id);
                 cur.cache.write(s.addr, &event.bytes);
                 cur.store_map.set_range(s.addr, s.len, s.id);
-                cur.line_order.entry(line).or_default().push(s.id);
+                cur.line_order.entry(line).or_default().order.push(s.id);
                 stats.stores_committed += 1;
                 // A committed store always changes the crash state (it joins
                 // the line's persistable prefix).
@@ -677,11 +837,18 @@ impl MemState {
                 fp.absorb(s.id);
                 fp.absorb(seq);
                 sink.on_store_committed(event);
+                self.commits_since_gc += 1;
+                self.maybe_gc(sink);
             }
             SbEntry::Clflush { addr, id } => {
                 let seq = self.fresh_seq();
                 let line = addr.cache_line();
-                let committed = self.cur.line_order.get(&line).map(Vec::len).unwrap_or(0);
+                let committed = self
+                    .cur
+                    .line_order
+                    .get(&line)
+                    .map(LineLog::logical_len)
+                    .unwrap_or(0);
                 let prev = {
                     let floor = self.cur.persisted_upto.entry(line).or_insert(0);
                     let prev = *floor;
@@ -698,15 +865,25 @@ impl MemState {
                     self.fp.absorb(line.0);
                     self.fp.absorb(committed as u64);
                 }
-                let flush = self.flushes.get_mut(&id).expect("flush event exists");
+                self.materialize_floor(line);
+                // The flush event is read exactly once (here), so its map
+                // entry can be dropped regardless of GC mode.
+                let mut flush = self.flushes.remove(&id).expect("flush event exists");
                 flush.seq = Some(seq);
-                let flush = self.flushes[&id].clone();
+                if self.gc_every.is_some() {
+                    self.gc.flushes_retired += 1;
+                }
                 let line_stores = line_store_refs(&self.events, &self.cur.store_map, line);
                 sink.on_clflush_committed(&flush, &line_stores);
             }
             SbEntry::Clwb { addr, id } => {
                 let line = addr.cache_line();
-                let committed = self.cur.line_order.get(&line).map(Vec::len).unwrap_or(0);
+                let committed = self
+                    .cur
+                    .line_order
+                    .get(&line)
+                    .map(LineLog::logical_len)
+                    .unwrap_or(0);
                 self.clwb_marks.insert(id, committed);
                 self.fbs[thread.as_usize()].push(FbEntry { addr, id });
             }
@@ -736,10 +913,122 @@ impl MemState {
                 self.fp.absorb(line.0);
                 self.fp.absorb(mark as u64);
             }
-            let clwb = self.flushes[&fb.id].clone();
+            self.materialize_floor(line);
+            // A clwb fences exactly once; its event entry dies here.
+            let clwb = self.flushes.remove(&fb.id).expect("clwb event exists");
+            if self.gc_every.is_some() {
+                self.gc.flushes_retired += 1;
+            }
             let line_stores = line_store_refs(&self.events, &self.cur.store_map, line);
             sink.on_clwb_fenced(&clwb, fence_cv, &line_stores);
         }
+    }
+
+    /// Streaming GC: drains the definitely-persisted prefix of `line`'s
+    /// committed-store log into the persistent image.
+    ///
+    /// Safe mid-execution because every byte a retained-or-retired committed
+    /// store covers is shadowed by the current execution's storemap, so
+    /// loads keep resolving from the cache and never observe the early image
+    /// write; and a crash cut is always ≥ the floor ≥ the retired count, so
+    /// materializing the slice `[retired..cut)` later commutes with having
+    /// materialized `[0..retired)` now (same per-line store order either
+    /// way).
+    fn materialize_floor(&mut self, line: CacheLineId) {
+        if self.gc_every.is_none() {
+            return;
+        }
+        let floor = self.cur.persisted_upto.get(&line).copied().unwrap_or(0);
+        let MemState {
+            events,
+            cur,
+            image,
+            image_prov,
+            gc,
+            ..
+        } = self;
+        let Some(log) = cur.line_order.get_mut(&line) else {
+            return;
+        };
+        if floor <= log.retired || log.order.is_empty() {
+            return;
+        }
+        let n = (floor - log.retired).min(log.order.len());
+        let img_line = image.line_mut(line);
+        let prov_line = image_prov.line_mut(line);
+        for &id in &log.order[..n] {
+            let ev = events.get(id);
+            let lo = ev.addr.line_offset() as usize;
+            let hi = lo + ev.bytes.len();
+            img_line[lo..hi].copy_from_slice(&ev.bytes);
+            prov_line[lo..hi].fill(id);
+        }
+        log.order.drain(..n);
+        log.retired += n;
+        gc.line_entries_retired += n as u64;
+    }
+
+    /// Runs a mark-sweep retirement pass when the commit budget is due.
+    fn maybe_gc(&mut self, sink: &mut dyn EventSink) {
+        let Some(every) = self.gc_every else {
+            return;
+        };
+        if self.commits_since_gc < every {
+            return;
+        }
+        self.commits_since_gc = 0;
+        self.run_gc(sink);
+    }
+
+    /// Mark-sweep over store events: everything unreachable from the live
+    /// roots can never again be read, re-committed, scanned as a candidate,
+    /// or materialized, so its table slot is freed. Roots are: the current
+    /// storemap (cache reads, line-store reporting), the image provenance
+    /// (acquire joins and chosen-store reporting on image reads), the
+    /// retained line logs of the current and most recent crashed execution
+    /// (crash cuts and candidate scans), and store-buffer entries (bypass
+    /// reads, pending commits). Retired ids are reported to the sink in
+    /// ascending order so detectors can drop per-store state
+    /// deterministically.
+    fn run_gc(&mut self, sink: &mut dyn EventSink) {
+        self.gc.passes += 1;
+        let mut roots: HashSet<EventId> = HashSet::new();
+        self.cur.store_map.for_each_id(|id| {
+            roots.insert(id);
+        });
+        self.image_prov.for_each_id(|id| {
+            roots.insert(id);
+        });
+        for log in self.cur.line_order.values() {
+            roots.extend(log.order.iter().copied());
+        }
+        if let Some(prev) = self.past.last() {
+            for log in prev.line_order.values() {
+                roots.extend(log.order.iter().copied());
+            }
+        }
+        for sb in &self.sbs {
+            for entry in sb.iter() {
+                if let SbEntry::Store(s) = entry {
+                    roots.insert(s.id);
+                }
+            }
+        }
+        let mut retired: Vec<EventId> = self
+            .events
+            .live_ids()
+            .into_iter()
+            .filter(|id| !roots.contains(id))
+            .collect();
+        if retired.is_empty() {
+            return;
+        }
+        retired.sort_unstable();
+        for &id in &retired {
+            self.events.retire(id);
+        }
+        self.gc.events_retired += retired.len() as u64;
+        sink.on_stores_retired(&retired);
     }
 
     // ------------------------------------------------------------------
@@ -868,12 +1157,12 @@ impl MemState {
         let mut candidates = chosen.clone();
         if let Some(prev) = self.past.last() {
             for line in image_lines {
-                let order = match prev.line_order.get(&line) {
+                let log = match prev.line_order.get(&line) {
                     Some(o) => o,
                     None => continue,
                 };
                 let floor = prev.persisted_upto.get(&line).copied().unwrap_or(0);
-                for &id in &order[floor.min(order.len())..] {
+                for &id in log.suffix_from(floor) {
                     self.stats.candidate_stores_scanned += 1;
                     let ev = self.events.get(id);
                     if ranges_overlap(ev.addr, ev.len(), addr, len) {
@@ -970,14 +1259,24 @@ impl MemState {
         let mut lines: Vec<_> = self.cur.line_order.keys().copied().collect();
         lines.sort(); // determinism of rng consumption
         for line in lines {
-            let order = &self.cur.line_order[&line];
+            let log = &self.cur.line_order[&line];
             let floor = self.cur.persisted_upto.get(&line).copied().unwrap_or(0);
+            // Cuts are logical indexes, so the RNG draws (and the persisted
+            // prefix they denote) are identical whether or not streaming GC
+            // already drained `log.retired` entries into the image.
             let cut = match policy {
-                PersistencePolicy::FullCache => order.len(),
+                PersistencePolicy::FullCache => log.logical_len(),
                 PersistencePolicy::FloorOnly => floor,
-                PersistencePolicy::Random => rng.gen_range(floor..=order.len()),
+                PersistencePolicy::Random => rng.gen_range(floor..=log.logical_len()),
             };
             if cut == 0 {
+                continue;
+            }
+            // Entries below `log.retired` were materialized eagerly when the
+            // floor rose (cut ≥ floor ≥ retired, same per-line order), so
+            // only the retained slice below the cut lands here.
+            let keep = &log.order[..cut - log.retired];
+            if keep.is_empty() {
                 continue;
             }
             // Materialize the persisted prefix with per-line bulk copies:
@@ -986,7 +1285,7 @@ impl MemState {
             // `copy_from_slice`/`fill` pair.
             let img_line = self.image.line_mut(line);
             let prov_line = self.image_prov.line_mut(line);
-            for &id in &order[..cut] {
+            for &id in keep {
                 let ev = self.events.get(id);
                 let lo = ev.addr.line_offset() as usize;
                 let hi = lo + ev.bytes.len();
@@ -994,9 +1293,22 @@ impl MemState {
                 prov_line[lo..hi].fill(id);
             }
         }
+        // Flush events never outlive the buffers that referenced them.
+        if self.gc_every.is_some() {
+            self.gc.flushes_retired += self.flushes.len() as u64;
+        }
+        self.flushes.clear();
         let next_id = self.cur.id + 1;
         let old = std::mem::replace(&mut self.cur, ExecState::new(next_id));
         self.past.push(old);
+        // Candidate scans only ever consult the *most recent* crashed
+        // execution, so in streaming mode the one before it can drop its
+        // cache, storemap, and line logs (its id stays for accounting).
+        if self.gc_every.is_some() && self.past.len() >= 2 {
+            let idx = self.past.len() - 2;
+            let id = self.past[idx].id;
+            self.past[idx] = ExecState::new(id);
+        }
         self.fp.absorb(5);
         self.fp.absorb(next_id as u64);
     }
@@ -1018,9 +1330,10 @@ impl MemState {
         // Per-line orders and floors: XOR-combined so HashMap iteration
         // order cannot leak into the value.
         let mut orders = 0u64;
-        for (line, order) in &self.cur.line_order {
+        for (line, log) in &self.cur.line_order {
             let mut inner = pmem::Fp64::new();
-            for &id in order {
+            inner.absorb(log.retired as u64);
+            for &id in &log.order {
                 inner.absorb(id);
             }
             orders ^= pmem::mix64(line.0 ^ pmem::mix64(inner.value()));
@@ -1387,6 +1700,114 @@ mod tests {
         assert_eq!(u64::from_le_bytes(out.bytes.try_into().unwrap()), 2);
         assert_eq!(out.chosen.len(), 1);
         assert_eq!(out.candidates.len(), 2, "both stores are candidates");
+    }
+
+    #[test]
+    fn gc_never_retires_an_unpersisted_store() {
+        let mut m = mem();
+        m.enable_gc(1);
+        let mut sink = NullSink;
+        let t = m.register_thread(None);
+        let a = Addr(0x1000);
+        // Two committed stores to one line, neither flushed: even with a GC
+        // pass per commit both must stay live — they are still crash-cut
+        // material and post-crash read candidates.
+        m.exec_store(
+            &mut sink,
+            t,
+            a,
+            &1u64.to_le_bytes(),
+            Atomicity::Plain,
+            "first",
+        );
+        m.exec_store(
+            &mut sink,
+            t,
+            a,
+            &2u64.to_le_bytes(),
+            Atomicity::Plain,
+            "second",
+        );
+        m.drain_sb(&mut sink, t);
+        let gc = m.gc_stats();
+        assert_eq!(
+            gc.events_retired, 0,
+            "not-yet-persisted stores never retire"
+        );
+        assert_eq!(gc.live_events, 2);
+        // Flush persists both; a third store then supersedes them in the
+        // storemap and image provenance, so the fully-decided first store
+        // retires on a later pass while the still-provenant second stays.
+        m.exec_clflush(t, a);
+        m.exec_store(
+            &mut sink,
+            t,
+            a,
+            &3u64.to_le_bytes(),
+            Atomicity::Plain,
+            "third",
+        );
+        m.drain_sb(&mut sink, t);
+        let gc = m.gc_stats();
+        assert!(gc.events_retired >= 1, "persisted+superseded store retires");
+        assert!(gc.line_entries_retired >= 2, "persisted prefix drained");
+    }
+
+    #[test]
+    fn gc_preserves_crash_materialization_and_fingerprint() {
+        let run = |gc: bool| {
+            let mut m = mem();
+            if gc {
+                m.enable_gc(1);
+            }
+            let mut sink = NullSink;
+            let t = m.register_thread(None);
+            for i in 0..100u64 {
+                let a = Addr(0x1000 + (i % 4) * 64);
+                m.exec_store(&mut sink, t, a, &i.to_le_bytes(), Atomicity::Plain, "x");
+                if i % 3 == 0 {
+                    m.exec_clflush(t, a);
+                }
+                if i % 7 == 0 {
+                    m.exec_sfence(t);
+                }
+                m.drain_sb(&mut sink, t);
+            }
+            let mut r = rng();
+            m.crash(PersistencePolicy::Random, &mut r);
+            let t2 = m.register_thread(None);
+            let out = m.exec_load(t2, Addr(0x1000), 16, Atomicity::Plain);
+            (m.fingerprint(), out.bytes, out.chosen, out.candidates)
+        };
+        assert_eq!(run(false), run(true), "GC must be observably invisible");
+    }
+
+    #[test]
+    fn gc_bounds_live_events_on_a_flushed_stream() {
+        let mut m = mem();
+        m.enable_gc(8);
+        let mut sink = NullSink;
+        let t = m.register_thread(None);
+        let a = Addr(0x1000);
+        for i in 0..1000u64 {
+            m.exec_store(&mut sink, t, a, &i.to_le_bytes(), Atomicity::Plain, "x");
+            m.exec_clflush(t, a);
+            m.drain_sb(&mut sink, t);
+        }
+        let gc = m.gc_stats();
+        assert_eq!(m.stats.stores_committed, 1000);
+        assert!(
+            gc.peak_live_events < 32,
+            "live set must plateau, saw peak {}",
+            gc.peak_live_events
+        );
+        assert!(
+            gc.slots_reused > 900,
+            "slots recycle behind the id indirection"
+        );
+        // The stream is still readable and correct.
+        let out = m.exec_load(t, a, 8, Atomicity::Plain);
+        assert_eq!(u64::from_le_bytes(out.bytes.try_into().unwrap()), 999);
     }
 
     #[test]

@@ -256,6 +256,57 @@ impl PruneStats {
     }
 }
 
+/// Counters and gauges describing streaming GC: how much history was
+/// retired, and how big the live state actually stayed.
+///
+/// Physical-strategy counters like [`ForkStats`] / [`PruneStats`]: excluded
+/// from [`RunReport::metrics`] and the JSON surface, because they
+/// legitimately differ between streaming and unbounded runs (and across
+/// worker counts) while the logical report must stay byte-identical.
+/// Surfaced through [`RunReport::gc_stats`] / [`RunReport::gc_metrics`]
+/// only. All zeros when GC was off.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct GcStats {
+    /// Mark-sweep passes run.
+    pub passes: u64,
+    /// Store events retired (table slot freed for reuse).
+    pub events_retired: u64,
+    /// Flush events dropped after their single read (plus buffer casualties
+    /// cleared at crashes).
+    pub flushes_retired: u64,
+    /// Committed-store log entries drained into the image as the
+    /// persistence floor rose.
+    pub line_entries_retired: u64,
+    /// Store events resident at the end of the run.
+    pub live_events: u64,
+    /// High-water mark of resident store events — the bounded-memory
+    /// headline number.
+    pub peak_live_events: u64,
+    /// Event-table slots handed out again after retirement.
+    pub slots_reused: u64,
+    /// Detector flushmap entries resident at the end of the run.
+    pub flushmap_live: u64,
+    /// High-water mark of detector flushmap entries.
+    pub flushmap_peak: u64,
+}
+
+impl GcStats {
+    /// Merges `other` into `self`: work counters add, residency gauges take
+    /// the maximum (each parallel run has its own live set; the honest
+    /// aggregate of "how big did it get" is the worst run).
+    pub fn absorb(&mut self, other: &GcStats) {
+        self.passes += other.passes;
+        self.events_retired += other.events_retired;
+        self.flushes_retired += other.flushes_retired;
+        self.line_entries_retired += other.line_entries_retired;
+        self.slots_reused += other.slots_reused;
+        self.live_events = self.live_events.max(other.live_events);
+        self.peak_live_events = self.peak_live_events.max(other.peak_live_events);
+        self.flushmap_live = self.flushmap_live.max(other.flushmap_live);
+        self.flushmap_peak = self.flushmap_peak.max(other.flushmap_peak);
+    }
+}
+
 /// Summary of a whole engine run (one or many executions).
 #[derive(Debug, Default)]
 pub struct RunReport {
@@ -267,6 +318,7 @@ pub struct RunReport {
     stats: ExecStats,
     fork: ForkStats,
     prune: PruneStats,
+    gc: GcStats,
     dedup_hits: u64,
     queue_depth: Histogram,
     trace: Option<RunTrace>,
@@ -284,6 +336,7 @@ impl RunReport {
         stats: ExecStats,
         fork: ForkStats,
         prune: PruneStats,
+        gc: GcStats,
         queue_depth: Histogram,
         trace: Option<RunTrace>,
     ) -> Self {
@@ -296,6 +349,7 @@ impl RunReport {
             stats,
             fork,
             prune,
+            gc,
             dedup_hits,
             queue_depth,
             trace,
@@ -446,6 +500,33 @@ impl RunReport {
         m.add(obs::names::PRUNE_EVENTS_ATTRIBUTED, p.events_attributed);
         m
     }
+
+    /// Streaming-GC counters and live-state gauges. Like
+    /// [`fork_stats`](Self::fork_stats), deliberately outside
+    /// [`metrics`](Self::metrics) and the JSON report: memory residency is a
+    /// physical property of the execution strategy, not of the answer. All
+    /// zeros when GC was off.
+    pub fn gc_stats(&self) -> &GcStats {
+        &self.gc
+    }
+
+    /// A separate registry for the GC counters and live-state gauges, under
+    /// the `gc.*` / `mem.*` / `detector.*` names — same byte-comparability
+    /// rule as [`fork_metrics`](Self::fork_metrics).
+    pub fn gc_metrics(&self) -> MetricsRegistry {
+        let mut m = MetricsRegistry::new();
+        let g = &self.gc;
+        m.add(obs::names::GC_PASSES, g.passes);
+        m.add(obs::names::GC_EVENTS_RETIRED, g.events_retired);
+        m.add(obs::names::GC_FLUSHES_RETIRED, g.flushes_retired);
+        m.add(obs::names::GC_LINE_ENTRIES_RETIRED, g.line_entries_retired);
+        m.add(obs::names::MEM_EVENT_SLOTS_LIVE, g.live_events);
+        m.add(obs::names::MEM_EVENT_SLOTS_PEAK, g.peak_live_events);
+        m.add(obs::names::MEM_EVENT_SLOTS_REUSED, g.slots_reused);
+        m.add(obs::names::DETECTOR_FLUSHMAP_LIVE, g.flushmap_live);
+        m.add(obs::names::DETECTOR_FLUSHMAP_PEAK, g.flushmap_peak);
+        m
+    }
 }
 
 impl fmt::Display for RunReport {
@@ -497,6 +578,7 @@ mod tests {
             ExecStats::default(),
             ForkStats::default(),
             PruneStats::default(),
+            GcStats::default(),
             Histogram::new(),
             None,
         );

@@ -230,6 +230,12 @@ pub(crate) struct SnapshotLog {
     /// Paranoid verification: capture every point even when pruning, so the
     /// engine can execute skipped members and cross-check attribution.
     pub paranoid: bool,
+    /// Periodic crash-point sampling (`--sample-every N`): observe only
+    /// points whose phase-local index is a multiple of `sample`. `0` and `1`
+    /// both mean "every point". Sampled-out points get neither a
+    /// [`PointRecord`] nor a [`Snapshot`], so the engine's target list (also
+    /// restricted to multiples of `sample`) stays aligned with `records`.
+    pub sample: usize,
     /// `(phase, fingerprint)` of the most recent point, for the skip check.
     last: Option<(usize, u64)>,
     /// Set when the sink cannot fork; the engine then falls back to full
@@ -238,7 +244,7 @@ pub(crate) struct SnapshotLog {
 }
 
 impl SnapshotLog {
-    pub fn new(capture_phases: usize, prune: bool, paranoid: bool) -> Self {
+    pub fn new(capture_phases: usize, prune: bool, paranoid: bool, sample: usize) -> Self {
         SnapshotLog {
             capture_phases,
             phase: 0,
@@ -246,6 +252,7 @@ impl SnapshotLog {
             records: Vec::new(),
             prune,
             paranoid,
+            sample,
             last: None,
             unsupported: false,
         }
@@ -423,6 +430,9 @@ impl Shared {
         let Some(log) = snaplog else { return };
         if log.unsupported || log.phase >= log.capture_phases {
             return;
+        }
+        if log.sample > 1 && crash.seen % log.sample != 0 {
+            return; // sampled out: not a target, so record nothing
         }
         // The point's class fingerprint: everything that determines the
         // observable result of resuming from here. Both components are O(1)

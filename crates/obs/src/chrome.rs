@@ -10,7 +10,15 @@
 //! lane's events in `(ts, name)` order, so equal [`RunTrace`]s render to
 //! byte-identical JSON.
 //!
+//! Two surfaces over the same serializer: [`to_chrome_json`] builds the
+//! document in memory, [`write_chrome_json`] streams it event-by-event to
+//! any [`io::Write`] — the chunked path soak runs use, where a
+//! multi-million-event trace must never be resident as one string. Both
+//! produce byte-identical output.
+//!
 //! [trace-event format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use std::io;
 
 use crate::json::Json;
 use crate::span::{RunTrace, COORDINATOR_LANE};
@@ -18,10 +26,36 @@ use crate::span::{RunTrace, COORDINATOR_LANE};
 /// The `pid` every event carries (one logical process per engine run).
 const PID: u64 = 1;
 
-/// Renders `trace` as a complete Chrome trace-event JSON document.
+/// Renders `trace` as a complete Chrome trace-event JSON document in
+/// memory. Convenience wrapper over [`write_chrome_json`].
 pub fn to_chrome_json(trace: &RunTrace) -> String {
-    let mut events: Vec<Json> = Vec::new();
-    events.push(metadata(
+    let mut buf = Vec::new();
+    write_chrome_json(trace, &mut buf).expect("in-memory write cannot fail");
+    String::from_utf8(buf).expect("rendered JSON is UTF-8")
+}
+
+/// Streams `trace` as a Chrome trace-event JSON document to `out`, one
+/// event at a time.
+///
+/// Peak buffering is one rendered event plus one lane's sort index — not
+/// the whole document — so arbitrarily long traces export in bounded
+/// memory (modulo the in-memory `RunTrace` itself, which callers can keep
+/// small by sampling crash points). Wrap `out` in a
+/// [`std::io::BufWriter`] when writing to a file.
+pub fn write_chrome_json<W: io::Write>(trace: &RunTrace, out: &mut W) -> io::Result<()> {
+    out.write_all(b"{\"traceEvents\":[")?;
+    let mut first = true;
+    macro_rules! emit {
+        ($event:expr) => {{
+            if first {
+                first = false;
+            } else {
+                out.write_all(b",")?;
+            }
+            out.write_all($event.render().as_bytes())?;
+        }};
+    }
+    emit!(metadata(
         "process_name",
         COORDINATOR_LANE,
         ("name", Json::from("yashme exploration")),
@@ -32,7 +66,7 @@ pub fn to_chrome_json(trace: &RunTrace) -> String {
         } else {
             format!("run {}", lane - 1)
         };
-        events.push(metadata("thread_name", *lane, ("name", Json::from(name))));
+        emit!(metadata("thread_name", *lane, ("name", Json::from(name))));
     }
     for (lane, buf) in trace.lanes() {
         // Deterministic per-lane order even if recording interleaved spans
@@ -40,7 +74,7 @@ pub fn to_chrome_json(trace: &RunTrace) -> String {
         let mut spans: Vec<_> = buf.spans.iter().collect();
         spans.sort_by(|a, b| (a.start, &a.name).cmp(&(b.start, &b.name)));
         for span in spans {
-            events.push(Json::obj([
+            emit!(Json::obj([
                 ("name", Json::from(span.name.as_str())),
                 ("cat", Json::from(span.phase.name())),
                 ("ph", Json::from("X")),
@@ -54,7 +88,7 @@ pub fn to_chrome_json(trace: &RunTrace) -> String {
         let mut instants: Vec<_> = buf.instants.iter().collect();
         instants.sort_by(|a, b| (a.ts, &a.name).cmp(&(b.ts, &b.name)));
         for inst in instants {
-            events.push(Json::obj([
+            emit!(Json::obj([
                 ("name", Json::from(inst.name.as_str())),
                 ("cat", Json::from(inst.phase.name())),
                 ("ph", Json::from("i")),
@@ -66,20 +100,18 @@ pub fn to_chrome_json(trace: &RunTrace) -> String {
             ]));
         }
     }
-    Json::obj([
-        ("traceEvents", Json::Arr(events)),
-        ("displayTimeUnit", Json::from("ms")),
-        (
-            "otherData",
-            Json::obj([
-                ("clock", Json::from("virtual (engine events)")),
-                ("runs", Json::from(trace.runs())),
-                ("spans", Json::from(trace.span_count())),
-                ("events", Json::U64(trace.event_count())),
-            ]),
-        ),
-    ])
-    .render()
+    out.write_all(b"],\"displayTimeUnit\":\"ms\",\"otherData\":")?;
+    out.write_all(
+        Json::obj([
+            ("clock", Json::from("virtual (engine events)")),
+            ("runs", Json::from(trace.runs())),
+            ("spans", Json::from(trace.span_count())),
+            ("events", Json::U64(trace.event_count())),
+        ])
+        .render()
+        .as_bytes(),
+    )?;
+    out.write_all(b"}")
 }
 
 fn metadata(name: &'static str, tid: u64, arg: (&'static str, Json)) -> Json {
@@ -140,5 +172,28 @@ mod tests {
             to_chrome_json(&sample_trace()),
             to_chrome_json(&sample_trace())
         );
+    }
+
+    #[test]
+    fn streamed_export_matches_in_memory_export() {
+        // A writer that forces many small chunks (capacity 7) to prove the
+        // streaming path never depends on writing the document whole.
+        #[derive(Debug)]
+        struct Dribble(Vec<u8>);
+        impl std::io::Write for Dribble {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                let n = buf.len().min(7);
+                self.0.extend_from_slice(&buf[..n]);
+                Ok(n)
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let trace = sample_trace();
+        let mut out = std::io::BufWriter::new(Dribble(Vec::new()));
+        write_chrome_json(&trace, &mut out).expect("stream");
+        let streamed = String::from_utf8(out.into_inner().expect("flush").0).expect("utf-8");
+        assert_eq!(streamed, to_chrome_json(&trace));
     }
 }

@@ -39,7 +39,7 @@ pub mod json;
 pub mod metrics;
 pub mod span;
 
-pub use chrome::to_chrome_json;
+pub use chrome::{to_chrome_json, write_chrome_json};
 pub use json::Json;
 pub use metrics::{Histogram, MetricsRegistry};
 pub use span::{Phase, RunTrace, Span, SpanInstant, TraceBuf};
@@ -105,6 +105,24 @@ pub mod names {
     pub const PRUNE_SUFFIXES_SKIPPED: &str = "prune.suffixes_skipped";
     /// Suffix events credited to skipped members without being executed.
     pub const PRUNE_EVENTS_ATTRIBUTED: &str = "prune.events_attributed";
+    /// Streaming-GC mark-sweep passes run.
+    pub const GC_PASSES: &str = "gc.passes";
+    /// Store events retired by streaming GC (table slot freed).
+    pub const GC_EVENTS_RETIRED: &str = "gc.events_retired";
+    /// Flush events dropped after their single read (or at a crash).
+    pub const GC_FLUSHES_RETIRED: &str = "gc.flushes_retired";
+    /// Committed-store log entries drained into the image at floor raises.
+    pub const GC_LINE_ENTRIES_RETIRED: &str = "gc.line_entries_retired";
+    /// Store-event table entries resident at the end of the run.
+    pub const MEM_EVENT_SLOTS_LIVE: &str = "mem.event_slots_live";
+    /// High-water mark of resident store-event table entries.
+    pub const MEM_EVENT_SLOTS_PEAK: &str = "mem.event_slots_peak";
+    /// Event-table slots handed out again after retirement.
+    pub const MEM_EVENT_SLOTS_REUSED: &str = "mem.event_slots_reused";
+    /// Detector flushmap entries resident at the end of the run.
+    pub const DETECTOR_FLUSHMAP_LIVE: &str = "detector.flushmap_live";
+    /// High-water mark of detector flushmap entries.
+    pub const DETECTOR_FLUSHMAP_PEAK: &str = "detector.flushmap_peak";
 }
 
 #[cfg(test)]
@@ -140,6 +158,15 @@ mod tests {
             super::names::PRUNE_REPRESENTATIVES,
             super::names::PRUNE_SUFFIXES_SKIPPED,
             super::names::PRUNE_EVENTS_ATTRIBUTED,
+            super::names::GC_PASSES,
+            super::names::GC_EVENTS_RETIRED,
+            super::names::GC_FLUSHES_RETIRED,
+            super::names::GC_LINE_ENTRIES_RETIRED,
+            super::names::MEM_EVENT_SLOTS_LIVE,
+            super::names::MEM_EVENT_SLOTS_PEAK,
+            super::names::MEM_EVENT_SLOTS_REUSED,
+            super::names::DETECTOR_FLUSHMAP_LIVE,
+            super::names::DETECTOR_FLUSHMAP_PEAK,
         ];
         let set: std::collections::HashSet<_> = names.iter().collect();
         assert_eq!(set.len(), names.len());

@@ -104,6 +104,23 @@ impl ProvenanceMap {
         self.lines.len()
     }
 
+    /// Visits every recorded (nonzero) id, deduplicating consecutive runs
+    /// within a slab. Ids recorded on several lines (or in disjoint runs of
+    /// one line) are visited more than once; callers collecting into a set
+    /// are unaffected. Used by the engine's streaming GC to mark provenance
+    /// roots without exposing the slab map itself.
+    pub fn for_each_id(&self, mut f: impl FnMut(ProvId)) {
+        for slab in self.lines.values() {
+            let mut last = 0;
+            for &id in slab.iter() {
+                if id != 0 && id != last {
+                    f(id);
+                    last = id;
+                }
+            }
+        }
+    }
+
     /// Removes all recorded provenance.
     pub fn clear(&mut self) {
         self.lines.clear();

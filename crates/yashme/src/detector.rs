@@ -73,6 +73,13 @@ pub struct YashmeDetector {
     /// by the `already` suppression, joins that raise nothing) leave it
     /// unchanged.
     token: pmem::Fp64,
+    /// Stores currently tracked in some execution's `flushmap`. With
+    /// streaming GC this is the detector's live-state gauge: retirement
+    /// ([`EventSink::on_stores_retired`]) decrements it, so on a
+    /// well-flushed workload it plateaus instead of growing with the trace.
+    flushmap_live: u64,
+    /// High-water mark of `flushmap_live`.
+    flushmap_peak: u64,
 }
 
 impl YashmeDetector {
@@ -84,6 +91,8 @@ impl YashmeDetector {
             reports: Vec::new(),
             reported: HashSet::new(),
             token: pmem::Fp64::new(),
+            flushmap_live: 0,
+            flushmap_peak: 0,
         }
     }
 
@@ -118,7 +127,14 @@ impl YashmeDetector {
             if store.clock > hb_cv.get(store.thread) {
                 continue;
             }
-            let records = state.flushmap.entry(store.id).or_default();
+            let records = match state.flushmap.entry(store.id) {
+                std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    self.flushmap_live += 1;
+                    self.flushmap_peak = self.flushmap_peak.max(self.flushmap_live);
+                    v.insert(Vec::new())
+                }
+            };
             // Condition (2): no recorded flush already happens before the
             // point that makes this one effective.
             let already = records
@@ -300,6 +316,34 @@ impl EventSink for YashmeDetector {
                 self.token.absorb(store.id);
             }
         }
+    }
+
+    fn on_stores_retired(&mut self, retired: &[EventId]) {
+        // The engine guarantees a retired store can never again appear as a
+        // load candidate, so its `flushmap` records are unreachable by
+        // `check_candidate` — dropping them changes no future report. The
+        // pruning token is deliberately left alone: GC is a physical
+        // strategy and must not perturb crash-state equivalence classes.
+        for state in self.states.values_mut() {
+            for id in retired {
+                if state.flushmap.remove(id).is_some() {
+                    self.flushmap_live -= 1;
+                }
+            }
+        }
+    }
+
+    fn live_gauges(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            (
+                jaaru::obs::names::DETECTOR_FLUSHMAP_LIVE,
+                self.flushmap_live,
+            ),
+            (
+                jaaru::obs::names::DETECTOR_FLUSHMAP_PEAK,
+                self.flushmap_peak,
+            ),
+        ]
     }
 
     fn drain_reports(&mut self) -> Vec<RaceReport> {
@@ -508,6 +552,26 @@ mod tests {
         let reports = d.drain_reports();
         assert_eq!(reports.len(), 1);
         assert_eq!(reports[0].kind(), ReportKind::BenignChecksum);
+    }
+
+    #[test]
+    fn retirement_drops_flushmap_entries_without_touching_the_token() {
+        let mut d = YashmeDetector::with_defaults();
+        let s = store_event(1, 0, 0x1000, Atomicity::Plain, 1, "x");
+        let f = flush_event(2, 0, 0x1000, 2);
+        d.on_clflush_committed(&f, &[&s]);
+        assert_eq!(
+            d.live_gauges(),
+            vec![
+                (jaaru::obs::names::DETECTOR_FLUSHMAP_LIVE, 1),
+                (jaaru::obs::names::DETECTOR_FLUSHMAP_PEAK, 1),
+            ]
+        );
+        let token = d.fingerprint_token();
+        d.on_stores_retired(&[1]);
+        assert_eq!(d.fingerprint_token(), token, "GC must not perturb pruning");
+        assert_eq!(d.live_gauges()[0].1, 0, "entry retired");
+        assert_eq!(d.live_gauges()[1].1, 1, "peak survives retirement");
     }
 
     #[test]

@@ -169,6 +169,34 @@ pub fn render_prune_stats(report: &RunReport) -> String {
     out
 }
 
+/// Renders the streaming-GC counters and live-state gauges
+/// (`yashme --details`). Same rule as [`render_fork_stats`]: physical
+/// strategy counters that legitimately differ between GC-on and GC-off
+/// runs while the logical report stays byte-identical, all zero — and
+/// rendered as the empty string — when streaming GC was off.
+pub fn render_gc_stats(report: &RunReport) -> String {
+    let g = report.gc_stats();
+    if *g == Default::default() {
+        return String::new();
+    }
+    let mut out = String::new();
+    writeln!(
+        out,
+        "gc: {} pass(es), {} store event(s) retired, {} flush event(s) \
+         retired, {} line-log entr(ies) drained",
+        g.passes, g.events_retired, g.flushes_retired, g.line_entries_retired,
+    )
+    .expect("write to string");
+    writeln!(
+        out,
+        "gc live: {} event slot(s) live (peak {}, {} reused), \
+         flushmap {} live (peak {})",
+        g.live_events, g.peak_live_events, g.slots_reused, g.flushmap_live, g.flushmap_peak,
+    )
+    .expect("write to string");
+    out
+}
+
 /// Renders the provenance timeline behind one report (`yashme --explain`):
 /// the racing store, its missing or ineffective flush/fence, the injected
 /// crash, the post-crash load that observed the store, and the detection

@@ -68,7 +68,8 @@ impl Default for Options {
 fn usage() -> &'static str {
     "usage: yashme (--list | --all | --benchmark <NAME>) \
      [--mode model-check|random] [--executions N] [--seed S] \
-     [--workers N|auto] [--no-fork] [--no-prune] [--baseline] [--eadr] \
+     [--workers N|auto] [--no-fork] [--no-prune] [--no-gc] \
+     [--gc-every N] [--gc-paranoid] [--sample-every N] [--baseline] [--eadr] \
      [--details] [--explain] [--json] [--trace-out FILE] [--metrics-out FILE]"
 }
 
@@ -78,6 +79,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     // the whole engine config; applied once parsing is done.
     let mut no_fork = false;
     let mut no_prune = false;
+    let mut no_gc = false;
+    let mut gc_every = None;
+    let mut gc_paranoid = false;
+    let mut sample_every = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -129,6 +134,24 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--no-fork" => no_fork = true,
             "--no-prune" => no_prune = true,
+            "--no-gc" => no_gc = true,
+            "--gc-every" => {
+                gc_every = Some(
+                    it.next()
+                        .ok_or_else(|| "--gc-every needs a number".to_owned())?
+                        .parse()
+                        .map_err(|e| format!("bad --gc-every: {e}"))?,
+                )
+            }
+            "--gc-paranoid" => gc_paranoid = true,
+            "--sample-every" => {
+                sample_every = Some(
+                    it.next()
+                        .ok_or_else(|| "--sample-every needs a number".to_owned())?
+                        .parse()
+                        .map_err(|e| format!("bad --sample-every: {e}"))?,
+                )
+            }
             "--baseline" => opts.baseline = true,
             "--eadr" => opts.eadr = true,
             "--details" => opts.details = true,
@@ -170,6 +193,18 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     }
     if no_prune {
         opts.engine = opts.engine.with_prune(false);
+    }
+    if no_gc {
+        opts.engine = opts.engine.with_gc(false);
+    }
+    if let Some(every) = gc_every {
+        opts.engine = opts.engine.with_gc_every(every);
+    }
+    if gc_paranoid {
+        opts.engine = opts.engine.with_gc_paranoid(true);
+    }
+    if let Some(every) = sample_every {
+        opts.engine = opts.engine.with_sample_every(every);
     }
     Ok(opts)
 }
@@ -215,6 +250,7 @@ fn run_one(entry: &SuiteEntry, opts: &Options, docs: &mut Vec<Json>) -> Result<u
             print!("{}", render::render_stats(&report));
             print!("{}", render::render_fork_stats(&report));
             print!("{}", render::render_prune_stats(&report));
+            print!("{}", render::render_gc_stats(&report));
         }
         if opts.explain {
             for (i, r) in report.races().iter().enumerate() {
@@ -227,7 +263,15 @@ fn run_one(entry: &SuiteEntry, opts: &Options, docs: &mut Vec<Json>) -> Result<u
         let trace = report
             .trace()
             .ok_or_else(|| "engine produced no trace".to_owned())?;
-        write_file(path, &jaaru::obs::to_chrome_json(trace), "chrome trace")?;
+        // Chunked export: the document streams to disk event-by-event
+        // instead of being assembled as one in-memory string (soak traces
+        // run to millions of events).
+        let err = |e: std::io::Error| format!("writing chrome trace to {path}: {e}");
+        let file = std::fs::File::create(path).map_err(err)?;
+        let mut out = std::io::BufWriter::new(file);
+        jaaru::obs::write_chrome_json(trace, &mut out).map_err(err)?;
+        use std::io::Write as _;
+        out.flush().map_err(err)?;
     }
     if let Some(path) = &opts.metrics_out {
         let mut doc = report.metrics().to_json().render();
