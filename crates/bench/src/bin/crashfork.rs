@@ -9,23 +9,31 @@
 //! win that widens with `--records`.
 //!
 //! Usage: `crashfork [--records N] [--smoke] [--workers N]
-//! [--emit-reports DIR] [--out PATH]` — `--smoke` shrinks the workload for
-//! CI; `--emit-reports DIR` additionally writes `fork.json` / `full.json`
+//! [--emit-reports DIR] [--out PATH]` plus the shared telemetry flags
+//! (see `bench::cli`) — `--smoke` shrinks the workload for CI;
+//! `--emit-reports DIR` additionally writes `fork.json` / `full.json`
 //! (elapsed-free suite reports over the crashlog workload plus the
 //! evaluation suite) so CI can `cmp` them byte for byte.
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bench::workload::crashlog_workload;
-use bench::{evaluation_suite, SuiteMode, HARNESS_SEED};
+use bench::{cli, evaluation_suite, SuiteMode, HARNESS_SEED};
+use jaaru::obs::telemetry::Telemetry;
 use jaaru::{EngineConfig, ExecMode, Program};
 use yashme::json::{run_json, suite_json};
 use yashme::{RunReport, YashmeConfig};
 
-fn check(program: &Program, mode: ExecMode, engine: &EngineConfig) -> (RunReport, Duration) {
+fn check(
+    program: &Program,
+    mode: ExecMode,
+    engine: &EngineConfig,
+    tel: &Arc<Telemetry>,
+) -> (RunReport, Duration) {
     let start = Instant::now();
-    let report = yashme::check_with(program, mode, YashmeConfig::default(), engine);
+    let report = yashme::check_observed(program, mode, YashmeConfig::default(), engine, tel);
     (report, start.elapsed())
 }
 
@@ -67,25 +75,24 @@ fn suite_reports(records: usize, smoke: bool, engine: &EngineConfig) -> String {
 }
 
 fn main() {
+    let c = cli::common_args();
     let mut records = 160usize;
     let mut smoke = false;
-    let mut workers = 1usize;
-    let mut out = String::from("BENCH_crashfork.json");
     let mut emit: Option<String> = None;
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
+    let mut rest = c.rest.iter();
+    while let Some(arg) = rest.next() {
         match arg.as_str() {
-            "--records" => records = args.next().and_then(|v| v.parse().ok()).unwrap_or(records),
+            "--records" => records = rest.next().and_then(|v| v.parse().ok()).unwrap_or(records),
             "--smoke" => {
                 smoke = true;
                 records = 24;
             }
-            "--workers" => workers = args.next().and_then(|v| v.parse().ok()).unwrap_or(workers),
-            "--emit-reports" => emit = args.next(),
-            "--out" => out = args.next().unwrap_or(out),
+            "--emit-reports" => emit = rest.next().cloned(),
             _ => {}
         }
     }
+    let workers = if c.workers_given { c.engine.workers } else { 1 };
+    let out = c.out_or("BENCH_crashfork.json");
     // Pruning is disabled on both sides: this benchmark isolates the
     // checkpoint/fork win over full re-execution (`crashprune` measures
     // equivalence pruning on top of fork mode).
@@ -93,10 +100,13 @@ fn main() {
     let full_cfg = EngineConfig::with_workers(workers)
         .with_fork(false)
         .with_prune(false);
+    let (tel, reporter) = c.telemetry.start("crashfork");
 
     let program = crashlog_workload(records);
-    let (fork_report, fork_time) = check(&program, ExecMode::model_check(), &fork_cfg);
-    let (full_report, full_time) = check(&program, ExecMode::model_check(), &full_cfg);
+    let (fork_report, fork_time) = check(&program, ExecMode::model_check(), &fork_cfg, &tel);
+    let (full_report, full_time) = check(&program, ExecMode::model_check(), &full_cfg, &tel);
+    drop(reporter);
+    c.telemetry.finish(&tel);
 
     let identical = run_json("crashlog", &fork_report, false).render()
         == run_json("crashlog", &full_report, false).render();
@@ -124,8 +134,12 @@ fn main() {
     // serde is stubbed out in this offline build, so render the JSON by
     // hand; every field is a number or bool.
     let mut json = String::from("{\n");
+    json.push_str(&cli::meta_header(
+        "crashfork",
+        "crashlog workload (fork vs full re-execution)",
+        Some(&fork_cfg),
+    ));
     let _ = writeln!(json, "  \"records\": {records},");
-    let _ = writeln!(json, "  \"workers\": {workers},");
     let _ = writeln!(json, "  \"crash_points\": {},", full_report.crash_points());
     let _ = writeln!(json, "  \"executions\": {},", full_report.executions());
     let _ = writeln!(json, "  \"reports_identical\": {identical},");
@@ -177,15 +191,18 @@ mod tests {
     #[test]
     fn fork_executes_strictly_fewer_events_with_identical_report() {
         let program = crashlog_workload(32);
+        let tel = Arc::clone(Telemetry::off());
         let (fork_report, _) = check(
             &program,
             ExecMode::model_check(),
             &EngineConfig::sequential().with_prune(false),
+            &tel,
         );
         let (full_report, _) = check(
             &program,
             ExecMode::model_check(),
             &EngineConfig::sequential().with_fork(false),
+            &tel,
         );
         assert_eq!(
             run_json("crashlog", &fork_report, false).render(),
@@ -205,15 +222,18 @@ mod tests {
     #[ignore = "wall-clock comparison; run explicitly with -- --ignored on an idle host"]
     fn fork_is_faster_in_wall_clock() {
         let program = crashlog_workload(192);
+        let tel = Arc::clone(Telemetry::off());
         let (_, fork_time) = check(
             &program,
             ExecMode::model_check(),
             &EngineConfig::sequential(),
+            &tel,
         );
         let (_, full_time) = check(
             &program,
             ExecMode::model_check(),
             &EngineConfig::sequential().with_fork(false),
+            &tel,
         );
         assert!(
             fork_time < full_time,

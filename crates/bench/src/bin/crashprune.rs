@@ -13,28 +13,32 @@
 //! `(1 + scrub)`-fold cut in resumed suffix runs.
 //!
 //! Usage: `crashprune [--records N[,N...]] [--scrub N] [--smoke]
-//! [--workers N] [--emit-reports DIR] [--out PATH]` — `--smoke` shrinks
-//! the sweep for CI; `--emit-reports DIR` additionally writes
-//! `pruned.json` / `exhaustive.json` (elapsed-free suite reports over the
-//! crashprune workload plus the evaluation suite) so CI can `cmp` them
-//! byte for byte.
+//! [--workers N] [--emit-reports DIR] [--out PATH]` plus the shared
+//! telemetry flags (see `bench::cli`) — `--smoke` shrinks the sweep for
+//! CI; `--emit-reports DIR` additionally writes `pruned.json` /
+//! `exhaustive.json` (elapsed-free suite reports over the crashprune
+//! workload plus the evaluation suite) so CI can `cmp` them byte for
+//! byte.
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bench::workload::crashprune_workload;
-use bench::{evaluation_suite, SuiteMode, HARNESS_SEED};
+use bench::{cli, evaluation_suite, SuiteMode, HARNESS_SEED};
+use jaaru::obs::telemetry::Telemetry;
 use jaaru::{EngineConfig, ExecMode, Program};
 use yashme::json::{run_json, suite_json};
 use yashme::{RunReport, YashmeConfig};
 
-fn check(program: &Program, engine: &EngineConfig) -> (RunReport, Duration) {
+fn check(program: &Program, engine: &EngineConfig, tel: &Arc<Telemetry>) -> (RunReport, Duration) {
     let start = Instant::now();
-    let report = yashme::check_with(
+    let report = yashme::check_observed(
         program,
         ExecMode::model_check(),
         YashmeConfig::default(),
         engine,
+        tel,
     );
     (report, start.elapsed())
 }
@@ -112,37 +116,37 @@ fn suite_reports(records: usize, scrub: usize, smoke: bool, engine: &EngineConfi
 }
 
 fn main() {
+    let c = cli::common_args();
     let mut sweep = vec![40usize, 80, 160];
     let mut scrub = 5usize;
     let mut smoke = false;
-    let mut workers = 1usize;
-    let mut out = String::from("BENCH_crashprune.json");
     let mut emit: Option<String> = None;
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
+    let mut rest = c.rest.iter();
+    while let Some(arg) = rest.next() {
         match arg.as_str() {
             "--records" => {
-                if let Some(v) = args.next() {
+                if let Some(v) = rest.next() {
                     let parsed: Vec<usize> = v.split(',').filter_map(|n| n.parse().ok()).collect();
                     if !parsed.is_empty() {
                         sweep = parsed;
                     }
                 }
             }
-            "--scrub" => scrub = args.next().and_then(|v| v.parse().ok()).unwrap_or(scrub),
+            "--scrub" => scrub = rest.next().and_then(|v| v.parse().ok()).unwrap_or(scrub),
             "--smoke" => {
                 smoke = true;
                 sweep = vec![12, 24];
             }
-            "--workers" => workers = args.next().and_then(|v| v.parse().ok()).unwrap_or(workers),
-            "--emit-reports" => emit = args.next(),
-            "--out" => out = args.next().unwrap_or(out),
+            "--emit-reports" => emit = rest.next().cloned(),
             _ => {}
         }
     }
+    let workers = if c.workers_given { c.engine.workers } else { 1 };
+    let out = c.out_or("BENCH_crashprune.json");
     let pruned_cfg = EngineConfig::with_workers(workers);
     let noprune_cfg = EngineConfig::with_workers(workers).with_prune(false);
     let nofork_cfg = EngineConfig::with_workers(workers).with_fork(false);
+    let (tel, reporter) = c.telemetry.start("crashprune");
 
     println!(
         "Equivalence-pruning benchmark: records {:?}, {scrub} scrub round(s), {workers} worker(s)",
@@ -164,7 +168,7 @@ fn main() {
             (&noprune_cfg, "no-prune"),
             (&nofork_cfg, "no-fork"),
         ] {
-            let (report, wall) = check(&program, config);
+            let (report, wall) = check(&program, config, &tel);
             let json = run_json("crashprune", &report, false).render();
             match &rendered {
                 Some(first) => identical &= *first == json,
@@ -189,6 +193,8 @@ fn main() {
             rows.push(row);
         }
     }
+    drop(reporter);
+    c.telemetry.finish(&tel);
     // The headline ratio: resumed suffix runs, pruned vs fork-only, at the
     // largest sweep size.
     let last = *sweep.last().expect("non-empty sweep");
@@ -210,8 +216,12 @@ fn main() {
     // serde is stubbed out in this offline build, so render the JSON by
     // hand; every field is a number, bool, or fixed string.
     let mut json = String::from("{\n");
+    json.push_str(&cli::meta_header(
+        "crashprune",
+        "crashprune workload sweep (prune vs no-prune vs no-fork)",
+        Some(&pruned_cfg),
+    ));
     let _ = writeln!(json, "  \"scrub_rounds\": {scrub},");
-    let _ = writeln!(json, "  \"workers\": {workers},");
     let _ = writeln!(json, "  \"reports_identical\": {identical},");
     let _ = writeln!(json, "  \"records\": {last},");
     let _ = writeln!(json, "  \"noprune_resumed\": {noprune_resumed},");
@@ -251,8 +261,13 @@ mod tests {
     #[test]
     fn pruning_resumes_strictly_fewer_suffixes_with_identical_report() {
         let program = crashprune_workload(16, 4);
-        let (pruned, _) = check(&program, &EngineConfig::sequential());
-        let (exhaustive, _) = check(&program, &EngineConfig::sequential().with_prune(false));
+        let tel = Arc::clone(Telemetry::off());
+        let (pruned, _) = check(&program, &EngineConfig::sequential(), &tel);
+        let (exhaustive, _) = check(
+            &program,
+            &EngineConfig::sequential().with_prune(false),
+            &tel,
+        );
         assert_eq!(
             run_json("crashprune", &pruned, false).render(),
             run_json("crashprune", &exhaustive, false).render(),

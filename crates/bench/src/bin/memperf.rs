@@ -15,6 +15,7 @@
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
+use bench::cli;
 use compiler_model::CompilerConfig;
 use jaaru::refmodel::RefMemState;
 use jaaru::{Atomicity, LoadOutcome, MemState, NullSink, PersistencePolicy};
@@ -286,14 +287,13 @@ fn replay_reference(ops: &[Op]) -> (u64, Duration) {
 }
 
 fn main() {
+    let c = cli::common_args();
     let mut ops = 200_000usize;
-    let mut out = String::from("BENCH_memperf.json");
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--ops" => ops = args.next().and_then(|v| v.parse().ok()).unwrap_or(ops),
-            "--out" => out = args.next().unwrap_or(out),
-            _ => {}
+    let out = c.out_or("BENCH_memperf.json");
+    let mut rest = c.rest.iter();
+    while let Some(arg) = rest.next() {
+        if arg == "--ops" {
+            ops = rest.next().and_then(|v| v.parse().ok()).unwrap_or(ops);
         }
     }
     const SEED: u64 = 0x59a5_311e;
@@ -334,6 +334,11 @@ fn main() {
 
     // serde is stubbed out in this offline build; render the JSON by hand.
     let mut json = String::from("{\n");
+    json.push_str(&cli::meta_header(
+        "memperf",
+        "synthetic event-stream replay (line-granular vs byte oracle)",
+        None,
+    ));
     let _ = writeln!(json, "  \"ops\": {ops},");
     let _ = writeln!(json, "  \"seed\": {SEED},");
     let _ = writeln!(json, "  \"reference_s\": {:.6},", ref_best.as_secs_f64());

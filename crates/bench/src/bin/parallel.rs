@@ -2,15 +2,18 @@
 //! (workers=1) vs parallel wall time per benchmark, verifying the reports
 //! are identical, and writes the results to `BENCH_parallel.json`.
 //!
-//! Usage: `parallel [--workers N] [--no-fork] [--out PATH]` — `--workers`
-//! defaults to 4 (the configuration quoted in EXPERIMENTS.md); `--no-fork`
-//! disables checkpoint/fork exploration in both configurations; `--out`
-//! defaults to `BENCH_parallel.json` in the current directory.
+//! Usage: `parallel [--workers N] [--no-fork] [--out PATH]` plus the
+//! shared telemetry flags (see `bench::cli`) — `--workers` defaults to 4
+//! (the configuration quoted in EXPERIMENTS.md); `--no-fork` disables
+//! checkpoint/fork exploration in both configurations; `--out` defaults
+//! to `BENCH_parallel.json` in the current directory.
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use bench::{evaluation_suite, SuiteMode, HARNESS_SEED};
+use bench::{cli, evaluation_suite, SuiteMode, HARNESS_SEED};
+use jaaru::obs::telemetry::Telemetry;
 use jaaru::{EngineConfig, ExecMode};
 use yashme::{RunReport, YashmeConfig};
 
@@ -22,14 +25,18 @@ struct Row {
     identical: bool,
 }
 
-fn timed_run(entry: &bench::SuiteEntry, engine: &EngineConfig) -> (RunReport, Duration) {
+fn timed_run(
+    entry: &bench::SuiteEntry,
+    engine: &EngineConfig,
+    tel: &Arc<Telemetry>,
+) -> (RunReport, Duration) {
     let program = (entry.program)();
     let mode = match entry.mode {
         SuiteMode::ModelCheck => ExecMode::model_check(),
         SuiteMode::Random(n) => ExecMode::random(n, HARNESS_SEED),
     };
     let start = Instant::now();
-    let report = yashme::check_with(&program, mode, YashmeConfig::default(), engine);
+    let report = yashme::check_observed(&program, mode, YashmeConfig::default(), engine, tel);
     (report, start.elapsed())
 }
 
@@ -42,20 +49,13 @@ fn report_key(report: &RunReport) -> Vec<(yashme::ReportKind, &'static str)> {
 }
 
 fn main() {
-    let mut workers = 4usize;
-    let mut fork = true;
-    let mut out = String::from("BENCH_parallel.json");
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--workers" => workers = args.next().and_then(|v| v.parse().ok()).unwrap_or(workers),
-            "--no-fork" => fork = false,
-            "--out" => out = args.next().unwrap_or(out),
-            _ => {}
-        }
-    }
+    let c = cli::common_args();
+    let workers = if c.workers_given { c.engine.workers } else { 4 };
+    let fork = c.engine.fork;
+    let out = c.out_or("BENCH_parallel.json");
     let parallel_cfg = EngineConfig::with_workers(workers).with_fork(fork);
     let sequential_cfg = EngineConfig::sequential().with_fork(fork);
+    let (tel, reporter) = c.telemetry.start("parallel");
 
     println!("Parallel engine benchmark: sequential vs {workers} workers");
     println!();
@@ -65,8 +65,8 @@ fn main() {
     );
     let mut rows = Vec::new();
     for entry in evaluation_suite() {
-        let (seq_report, sequential) = timed_run(&entry, &sequential_cfg);
-        let (par_report, parallel) = timed_run(&entry, &parallel_cfg);
+        let (seq_report, sequential) = timed_run(&entry, &sequential_cfg, &tel);
+        let (par_report, parallel) = timed_run(&entry, &parallel_cfg, &tel);
         let identical = report_key(&seq_report) == report_key(&par_report)
             && seq_report.executions() == par_report.executions();
         println!(
@@ -85,6 +85,8 @@ fn main() {
             identical,
         });
     }
+    drop(reporter);
+    c.telemetry.finish(&tel);
 
     let total_seq: Duration = rows.iter().map(|r| r.sequential).sum();
     let total_par: Duration = rows.iter().map(|r| r.parallel).sum();
@@ -98,7 +100,11 @@ fn main() {
     // serde is stubbed out in this offline build, so render the JSON by
     // hand; every field is a number, bool, or plain benchmark name.
     let mut json = String::from("{\n");
-    let _ = writeln!(json, "  \"workers\": {workers},");
+    json.push_str(&cli::meta_header(
+        "parallel",
+        "evaluation suite (13 benchmarks)",
+        Some(&parallel_cfg),
+    ));
     let _ = writeln!(json, "  \"seed\": {HARNESS_SEED},");
     let _ = writeln!(
         json,

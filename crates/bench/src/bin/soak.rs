@@ -17,13 +17,18 @@
 //!
 //! Usage: `soak [--ops N] [--clients N] [--keys N] [--zipf S] [--batch N]
 //! [--seed N] [--backend memcached|redis] [--compare-ops N] [--out PATH]`
+//! plus the shared telemetry flags (see `bench::cli`) — `--progress`
+//! makes long runs report a live heartbeat on stderr.
 //!
 //! Exits nonzero if the GC-on and GC-off runs disagree.
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use apps::traffic::{soak_program, Backend, TrafficConfig};
+use bench::cli;
+use jaaru::obs::telemetry::Telemetry;
 use jaaru::{Engine, EngineConfig, PersistencePolicy, SchedPolicy, SingleRun};
 use yashme::YashmeConfig;
 
@@ -34,10 +39,15 @@ fn total_events(run: &SingleRun) -> u64 {
 }
 
 /// One detector-attached soak run under `config`.
-fn run_soak(cfg: TrafficConfig, seed: u64, config: &EngineConfig) -> (SingleRun, Duration) {
+fn run_soak(
+    cfg: TrafficConfig,
+    seed: u64,
+    config: &EngineConfig,
+    tel: &Arc<Telemetry>,
+) -> (SingleRun, Duration) {
     let program = soak_program(cfg);
     let start = Instant::now();
-    let run = Engine::run_single_with(
+    let run = Engine::run_single_observed(
         &program,
         SchedPolicy::RandomChoice,
         PersistencePolicy::Random,
@@ -45,6 +55,7 @@ fn run_soak(cfg: TrafficConfig, seed: u64, config: &EngineConfig) -> (SingleRun,
         None,
         bench::boxed_detector(YashmeConfig::default()),
         config,
+        tel,
     );
     (run, start.elapsed())
 }
@@ -64,14 +75,11 @@ fn logical_fingerprint(run: &SingleRun) -> String {
 fn memperf_reference() -> Option<f64> {
     let text = std::fs::read_to_string("BENCH_memperf.json").ok()?;
     let tail = text.split("\"optimized_events_per_s\":").nth(1)?;
-    tail.split([',', '}'])
-        .next()?
-        .trim()
-        .parse()
-        .ok()
+    tail.split([',', '}']).next()?.trim().parse().ok()
 }
 
 fn main() {
+    let c = cli::common_args();
     let mut cfg = TrafficConfig {
         clients: 4,
         ops_per_client: 100_000,
@@ -81,48 +89,47 @@ fn main() {
     let mut total_ops = 400_000u64;
     let mut compare_ops = 40_000u64;
     let mut seed = bench::HARNESS_SEED;
-    let mut out = String::from("BENCH_soak.json");
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
+    let out = c.out_or("BENCH_soak.json");
+    let mut rest = c.rest.iter();
+    while let Some(arg) = rest.next() {
         match arg.as_str() {
             "--ops" => {
-                total_ops = args
+                total_ops = rest
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or(total_ops)
             }
             "--clients" => {
-                cfg.clients = args
+                cfg.clients = rest
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or(cfg.clients)
             }
-            "--keys" => cfg.keys = args.next().and_then(|v| v.parse().ok()).unwrap_or(cfg.keys),
+            "--keys" => cfg.keys = rest.next().and_then(|v| v.parse().ok()).unwrap_or(cfg.keys),
             "--zipf" => {
-                cfg.zipf_exponent = args
+                cfg.zipf_exponent = rest
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or(cfg.zipf_exponent)
             }
             "--batch" => {
-                cfg.batch = args
+                cfg.batch = rest
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or(cfg.batch)
             }
-            "--seed" => seed = args.next().and_then(|v| v.parse().ok()).unwrap_or(seed),
+            "--seed" => seed = rest.next().and_then(|v| v.parse().ok()).unwrap_or(seed),
             "--compare-ops" => {
-                compare_ops = args
+                compare_ops = rest
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or(compare_ops)
             }
             "--backend" => {
-                if let Some(b) = args.next().as_deref().and_then(Backend::parse) {
+                if let Some(b) = rest.next().map(String::as_str).and_then(Backend::parse) {
                     cfg.backend = b;
                 }
             }
-            "--out" => out = args.next().unwrap_or(out),
             _ => {}
         }
     }
@@ -136,6 +143,7 @@ fn main() {
         ops_per_client: (compare_ops / cfg.clients as u64).max(1),
         ..cfg
     };
+    let (tel, reporter) = c.telemetry.start("soak");
 
     println!(
         "Soak: backend {}, {} clients x {} ops, {} keys, zipf {}",
@@ -148,8 +156,8 @@ fn main() {
 
     // 1. Plateau: 1/12th scale vs full scale, GC on (the default config).
     let gc_on = EngineConfig::default();
-    let (small_run, _) = run_soak(small, seed, &gc_on);
-    let (full_run, full_time) = run_soak(cfg, seed, &gc_on);
+    let (small_run, _) = run_soak(small, seed, &gc_on, &tel);
+    let (full_run, full_time) = run_soak(cfg, seed, &gc_on, &tel);
     let small_events = total_events(&small_run);
     let full_events = total_events(&full_run);
     let event_growth = full_events as f64 / small_events.max(1) as f64;
@@ -172,14 +180,16 @@ fn main() {
     );
 
     // 2. Equivalence: GC on vs GC off at the bounded comparison scale.
-    let (cmp_on, _) = run_soak(compare, seed, &gc_on);
-    let (cmp_off, _) = run_soak(compare, seed, &EngineConfig::default().with_gc(false));
+    let (cmp_on, _) = run_soak(compare, seed, &gc_on, &tel);
+    let (cmp_off, _) = run_soak(compare, seed, &EngineConfig::default().with_gc(false), &tel);
     let reports_identical = logical_fingerprint(&cmp_on) == logical_fingerprint(&cmp_off);
     println!();
     println!(
         "GC-on vs GC-off at {} ops: reports identical: {reports_identical}",
         compare.total_ops()
     );
+    drop(reporter);
+    c.telemetry.finish(&tel);
 
     // 3. Throughput of the full-scale GC-on run.
     let eps = full_events as f64 / full_time.as_secs_f64().max(1e-9);
@@ -199,6 +209,11 @@ fn main() {
 
     // serde is stubbed out in this offline build; render the JSON by hand.
     let mut json = String::from("{\n");
+    json.push_str(&cli::meta_header(
+        "soak",
+        "zipfian kv traffic (streaming GC)",
+        Some(&gc_on),
+    ));
     let _ = writeln!(json, "  \"backend\": \"{}\",", cfg.backend.name());
     let _ = writeln!(json, "  \"clients\": {},", cfg.clients);
     let _ = writeln!(json, "  \"ops\": {},", cfg.total_ops());

@@ -1,0 +1,278 @@
+//! Perf-regression gate: compares a fresh soak/memperf run against the
+//! checked-in `BENCH_*.json` baselines and flags drops outside generous
+//! thresholds.
+//!
+//! Wall-clock numbers move with the host, so the gate is deliberately
+//! loose: throughput may fall to a third of the baseline before it
+//! complains, and only the *logical* invariants (`bounded`,
+//! `reports_identical`, `outcomes_identical`) are hard requirements. By
+//! default every failure is a warning and the exit code stays 0 so a noisy
+//! CI runner can't block a merge; `--strict` turns failures into a nonzero
+//! exit.
+//!
+//! Usage: `trend [--baseline DIR] [--current DIR] [--strict] [--out PATH]`
+//! — `--baseline` defaults to the repository checkout (`.`), `--current`
+//! to the directory where CI just wrote fresh `BENCH_soak.json` /
+//! `BENCH_memperf.json` files. Missing files skip their checks with a
+//! warning. Writes a `BENCH_trend.json` summary to `--out`.
+
+use std::fmt::Write as _;
+
+use bench::cli;
+
+/// Throughput may drop to this fraction of the baseline before the gate
+/// complains — generous on purpose; see the module docs.
+const MIN_THROUGHPUT_RATIO: f64 = 0.33;
+
+/// Pulls the numeric value following `"key":` out of a hand-rendered
+/// `BENCH_*.json` document. The documents are flat enough (no repeated
+/// keys, numbers and bools only) that a string split is reliable and
+/// keeps the gate free of a JSON-parser dependency.
+fn field_f64(text: &str, key: &str) -> Option<f64> {
+    let tail = text.split(&format!("\"{key}\":")).nth(1)?;
+    tail.split([',', '}', '\n']).next()?.trim().parse().ok()
+}
+
+fn field_bool(text: &str, key: &str) -> Option<bool> {
+    let tail = text.split(&format!("\"{key}\":")).nth(1)?;
+    match tail.split([',', '}', '\n']).next()?.trim() {
+        "true" => Some(true),
+        "false" => Some(false),
+        _ => None,
+    }
+}
+
+/// One comparison the gate ran, for the report and the JSON summary.
+struct Check {
+    name: String,
+    baseline: Option<f64>,
+    current: Option<f64>,
+    pass: bool,
+    detail: String,
+}
+
+impl Check {
+    fn json(&self) -> String {
+        let opt = |v: Option<f64>| v.map_or_else(|| "null".to_owned(), |v| format!("{v:.3}"));
+        format!(
+            "{{\"name\": \"{}\", \"baseline\": {}, \"current\": {}, \"pass\": {}, \"detail\": \"{}\"}}",
+            self.name,
+            opt(self.baseline),
+            opt(self.current),
+            self.pass,
+            self.detail,
+        )
+    }
+}
+
+/// A `true`-valued flag the current run must reproduce.
+fn invariant(checks: &mut Vec<Check>, text: &str, file: &str, key: &str) {
+    let value = field_bool(text, key);
+    checks.push(Check {
+        name: format!("{file}:{key}"),
+        baseline: None,
+        current: value.map(f64::from),
+        pass: value == Some(true),
+        detail: match value {
+            Some(true) => "holds".to_owned(),
+            Some(false) => "violated".to_owned(),
+            None => "missing field".to_owned(),
+        },
+    });
+}
+
+/// A throughput field that may not fall below [`MIN_THROUGHPUT_RATIO`]
+/// times the baseline.
+fn throughput(checks: &mut Vec<Check>, baseline: &str, current: &str, file: &str, key: &str) {
+    let b = field_f64(baseline, key);
+    let c = field_f64(current, key);
+    let (pass, detail) = match (b, c) {
+        (Some(b), Some(c)) if b > 0.0 => {
+            let ratio = c / b;
+            (
+                ratio >= MIN_THROUGHPUT_RATIO,
+                format!("ratio {ratio:.2} (floor {MIN_THROUGHPUT_RATIO})"),
+            )
+        }
+        _ => (false, "missing field".to_owned()),
+    };
+    checks.push(Check {
+        name: format!("{file}:{key}"),
+        baseline: b,
+        current: c,
+        pass,
+        detail,
+    });
+}
+
+/// Both documents must carry the same schema version; a mismatch means
+/// the comparison itself is meaningless, so it fails the gate.
+fn schema(checks: &mut Vec<Check>, baseline: &str, current: &str, file: &str) {
+    let b = field_f64(baseline, "schema_version");
+    let c = field_f64(current, "schema_version");
+    checks.push(Check {
+        name: format!("{file}:schema_version"),
+        baseline: b,
+        current: c,
+        // A baseline predating the schema field (None) is tolerated; a
+        // mismatch between two stamped documents is not.
+        pass: b.is_none() || b == c,
+        detail: if b.is_none() || b == c {
+            "compatible".to_owned()
+        } else {
+            "mismatch".to_owned()
+        },
+    });
+}
+
+fn main() {
+    let c = cli::common_args();
+    let mut baseline_dir = String::from(".");
+    let mut current_dir = String::from(".");
+    let strict = c.has_flag("--strict");
+    let out = c.out_or("BENCH_trend.json");
+    let mut rest = c.rest.iter();
+    while let Some(arg) = rest.next() {
+        match arg.as_str() {
+            "--baseline" => baseline_dir = rest.next().cloned().unwrap_or(baseline_dir),
+            "--current" => current_dir = rest.next().cloned().unwrap_or(current_dir),
+            _ => {}
+        }
+    }
+
+    println!("Perf trend gate: baseline {baseline_dir}, current {current_dir}");
+    println!();
+    let mut checks: Vec<Check> = Vec::new();
+    let mut skipped: Vec<&str> = Vec::new();
+    for file in ["BENCH_soak.json", "BENCH_memperf.json"] {
+        let baseline = std::fs::read_to_string(format!("{baseline_dir}/{file}"));
+        let current = std::fs::read_to_string(format!("{current_dir}/{file}"));
+        let (Ok(baseline), Ok(current)) = (baseline, current) else {
+            eprintln!("trend: skipping {file} (missing on one side)");
+            skipped.push(file);
+            continue;
+        };
+        schema(&mut checks, &baseline, &current, file);
+        match file {
+            "BENCH_soak.json" => {
+                invariant(&mut checks, &current, file, "bounded");
+                invariant(&mut checks, &current, file, "reports_identical");
+                throughput(
+                    &mut checks,
+                    &baseline,
+                    &current,
+                    file,
+                    "sustained_events_per_s",
+                );
+            }
+            _ => {
+                invariant(&mut checks, &current, file, "outcomes_identical");
+                throughput(
+                    &mut checks,
+                    &baseline,
+                    &current,
+                    file,
+                    "optimized_events_per_s",
+                );
+            }
+        }
+    }
+
+    let mut failures = 0usize;
+    for check in &checks {
+        let status = if check.pass { "ok  " } else { "FAIL" };
+        let shown = |v: Option<f64>| v.map_or_else(|| "-".to_owned(), |v| format!("{v:.0}"));
+        println!(
+            "  {status} {:<44} baseline {:>12} current {:>12}  {}",
+            check.name,
+            shown(check.baseline),
+            shown(check.current),
+            check.detail
+        );
+        failures += usize::from(!check.pass);
+    }
+    println!();
+    let verdict = if failures == 0 {
+        "no regressions"
+    } else if strict {
+        "regressions (strict: failing)"
+    } else {
+        "regressions (warn-only; pass --strict to fail the build)"
+    };
+    println!(
+        "trend: {} check(s), {failures} failure(s) — {verdict}",
+        checks.len()
+    );
+
+    let mut json = String::from("{\n");
+    json.push_str(&cli::meta_header(
+        "trend",
+        "perf-regression gate over soak + memperf baselines",
+        None,
+    ));
+    let _ = writeln!(json, "  \"strict\": {strict},");
+    let _ = writeln!(json, "  \"failures\": {failures},");
+    let _ = writeln!(json, "  \"skipped\": {},", skipped.len());
+    let _ = writeln!(json, "  \"checks\": [");
+    for (i, check) in checks.iter().enumerate() {
+        let comma = if i + 1 < checks.len() { "," } else { "" };
+        let _ = writeln!(json, "    {}{comma}", check.json());
+    }
+    let _ = writeln!(json, "  ]");
+    json.push_str("}\n");
+    std::fs::write(&out, json).expect("write trend json");
+    println!("wrote {out}");
+    if strict && failures > 0 {
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = "{\n  \"schema_version\": 1,\n  \"bounded\": true,\n  \"sustained_events_per_s\": 250000,\n}\n";
+
+    #[test]
+    fn extractors_read_hand_rendered_documents() {
+        assert_eq!(field_f64(DOC, "schema_version"), Some(1.0));
+        assert_eq!(field_f64(DOC, "sustained_events_per_s"), Some(250000.0));
+        assert_eq!(field_bool(DOC, "bounded"), Some(true));
+        assert_eq!(field_f64(DOC, "missing"), None);
+        // No space after the colon, as `yashme --json` renders it.
+        assert_eq!(field_f64("{\"x\":7}", "x"), Some(7.0));
+    }
+
+    #[test]
+    fn throughput_floor_is_generous() {
+        let mut checks = Vec::new();
+        let base = "{\"sustained_events_per_s\": 300000,}";
+        let ok = "{\"sustained_events_per_s\": 100000,}";
+        let bad = "{\"sustained_events_per_s\": 90000,}";
+        throughput(&mut checks, base, ok, "f", "sustained_events_per_s");
+        throughput(&mut checks, base, bad, "f", "sustained_events_per_s");
+        assert!(checks[0].pass, "{}", checks[0].detail);
+        assert!(!checks[1].pass, "{}", checks[1].detail);
+    }
+
+    #[test]
+    fn schema_mismatch_fails_but_missing_baseline_version_passes() {
+        let mut checks = Vec::new();
+        schema(
+            &mut checks,
+            "{\"schema_version\": 1,}",
+            "{\"schema_version\": 1,}",
+            "f",
+        );
+        schema(
+            &mut checks,
+            "{\"schema_version\": 1,}",
+            "{\"schema_version\": 2,}",
+            "f",
+        );
+        schema(&mut checks, "{}", "{\"schema_version\": 1,}", "f");
+        assert!(checks[0].pass);
+        assert!(!checks[1].pass);
+        assert!(checks[2].pass, "legacy baseline tolerated");
+    }
+}

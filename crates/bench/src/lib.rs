@@ -7,7 +7,10 @@
 //! [`table5_row`] measures one row (prefix vs baseline race counts on a
 //! single random execution, plus Yashme-vs-Jaaru wall time).
 
+pub mod cli;
 pub mod workload;
+
+pub use cli::{cli_engine_config, cli_has_flag};
 
 use std::time::{Duration, Instant};
 
@@ -76,69 +79,6 @@ pub fn evaluation_suite() -> Vec<SuiteEntry> {
 
 /// The fixed seed the harness uses (documented in EXPERIMENTS.md).
 pub const HARNESS_SEED: u64 = 15;
-
-/// Engine configuration from the command line: `--workers N` (also
-/// `--workers=N`; `0` or `auto` = one worker per CPU) overrides the
-/// `YASHME_WORKERS` environment variable; with neither set the harness
-/// runs sequentially. `--no-fork` disables checkpoint/fork crash-point
-/// exploration (full re-execution per crash point; same report, slower).
-/// `--no-prune` disables crash-state equivalence pruning (every crash
-/// point's suffix resumed individually; same report, slower).
-/// `--no-gc` disables streaming epoch GC (memory then grows with trace
-/// length instead of live state; same report, fatter).
-/// Reports are identical at every worker count and in every mode.
-pub fn cli_engine_config() -> EngineConfig {
-    let mut config = None;
-    let mut fork = true;
-    let mut prune = true;
-    let mut gc = true;
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        if arg == "--no-fork" {
-            fork = false;
-            continue;
-        }
-        if arg == "--no-prune" {
-            prune = false;
-            continue;
-        }
-        if arg == "--no-gc" {
-            gc = false;
-            continue;
-        }
-        let value = if arg == "--workers" {
-            args.next()
-        } else {
-            arg.strip_prefix("--workers=").map(str::to_owned)
-        };
-        if let Some(v) = value {
-            config = Some(if v.eq_ignore_ascii_case("auto") {
-                EngineConfig::with_workers(0)
-            } else {
-                EngineConfig::with_workers(v.parse().unwrap_or(1))
-            });
-        }
-    }
-    let mut config = config.unwrap_or_else(EngineConfig::from_env);
-    // Only apply explicit `--no-fork`/`--no-prune`; otherwise keep whatever
-    // the config already says (e.g. `YASHME_FORK=0` via `from_env`).
-    if !fork {
-        config = config.with_fork(false);
-    }
-    if !prune {
-        config = config.with_prune(false);
-    }
-    if !gc {
-        config = config.with_gc(false);
-    }
-    config
-}
-
-/// True when the process arguments contain the flag verbatim (e.g.
-/// `cli_has_flag("--json")`).
-pub fn cli_has_flag(flag: &str) -> bool {
-    std::env::args().skip(1).any(|a| a == flag)
-}
 
 /// Renders Table 3/4-style numbered race rows as a JSON array with stable
 /// field order: `{"index": .., "benchmark": .., "label": ..}` per row.

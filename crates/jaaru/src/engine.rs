@@ -11,8 +11,9 @@
 
 use std::collections::HashSet;
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
+use obs::telemetry::{Telemetry, WallPhase, WorkerStat};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -452,6 +453,23 @@ impl Engine {
         sink_factory: SinkFactory<'_>,
         config: &EngineConfig,
     ) -> RunReport {
+        Self::run_observed(program, mode, sink_factory, config, Telemetry::off())
+    }
+
+    /// [`Engine::run_with`] publishing wall-clock telemetry to `tel`.
+    ///
+    /// Telemetry is the write-only second observability plane: the engine
+    /// reports phase timings, worker utilization, and progress counters
+    /// into it but never reads it back, so the returned [`RunReport`] (and
+    /// everything derived from it — traces, metrics, `--json`) is
+    /// byte-identical whether `tel` is enabled or [`Telemetry::off`].
+    pub fn run_observed(
+        program: &Program,
+        mode: ExecMode,
+        sink_factory: SinkFactory<'_>,
+        config: &EngineConfig,
+        tel: &Arc<Telemetry>,
+    ) -> RunReport {
         let start = Instant::now();
         let workers = config.resolved_workers();
         let mut acc = RunAccumulator::new(config.trace);
@@ -481,17 +499,22 @@ impl Engine {
                 let snaplog = (capture_phases > 0).then(|| {
                     SnapshotLog::new(capture_phases, config.prune, config.prune_paranoid, sample)
                 });
-                let (profile, _, log) = Self::run_inner(
-                    program,
-                    profile_spec.policy,
-                    profile_spec.persistence,
-                    profile_spec.seed,
-                    None,
-                    Self::make_sink(sink_factory, config),
-                    Vec::new(),
-                    snaplog,
-                    Self::gc_period(config),
-                );
+                let (profile, _, log) = {
+                    let _t = tel.time(WallPhase::ProfileRun);
+                    Self::run_inner(
+                        program,
+                        profile_spec.policy,
+                        profile_spec.persistence,
+                        profile_spec.seed,
+                        None,
+                        Self::make_sink(sink_factory, config),
+                        Vec::new(),
+                        snaplog,
+                        Self::gc_period(config),
+                        tel,
+                    )
+                };
+                tel.execution_done();
                 crash_points = profile.points.iter().sum();
                 let phase0_points = profile.points.first().copied().unwrap_or(0);
                 let phase1_points = profile.points.get(1).copied().unwrap_or(0);
@@ -511,6 +534,7 @@ impl Engine {
                     targets.extend((0..phase1_points).filter(|&t| sampled(t)).map(|t| (1, t)));
                 }
                 Self::sample_queue_depth(&mut queue_depth, targets.len());
+                tel.add_points_total(targets.len() as u64);
                 // Resume from snapshots when the profiling run captured a
                 // usable set — one per target, or with pruning one per
                 // equivalence class; otherwise (fork disabled, or the sink
@@ -538,16 +562,25 @@ impl Engine {
                                 profile_spec.persistence,
                                 workers,
                                 &mut acc,
+                                tel,
                             );
                         } else {
-                            let runs = Self::fan_out(log.snaps, workers, |snap| {
-                                Self::resume_run(
-                                    program,
-                                    snap,
-                                    &profile_points,
-                                    profile_spec.persistence,
-                                )
-                            });
+                            let runs = {
+                                let _t = tel.time(WallPhase::SuffixResume);
+                                Self::fan_out(log.snaps, workers, tel, |snap| {
+                                    let run = Self::resume_run(
+                                        program,
+                                        snap,
+                                        &profile_points,
+                                        profile_spec.persistence,
+                                    );
+                                    tel.suffix_resumed();
+                                    tel.add_points_done(1);
+                                    tel.execution_done();
+                                    run
+                                })
+                            };
+                            let _t = tel.time(WallPhase::Merge);
                             for run in runs {
                                 acc.absorb_run(run);
                             }
@@ -561,7 +594,20 @@ impl Engine {
                                 ..profile_spec
                             })
                             .collect();
-                        for run in Self::run_specs(program, specs, sink_factory, workers, config) {
+                        let runs = {
+                            let _t = tel.time(WallPhase::FullRun);
+                            Self::run_specs(
+                                program,
+                                specs,
+                                sink_factory,
+                                workers,
+                                config,
+                                tel,
+                                true,
+                            )
+                        };
+                        let _t = tel.time(WallPhase::Merge);
+                        for run in runs {
                             acc.absorb_run(run);
                         }
                     }
@@ -571,17 +617,22 @@ impl Engine {
                 // One profiling run estimates the crash-point count; it is a
                 // full simulated run and its reports, panics, and execution
                 // count all land in the aggregate like any other run.
-                let profile = Self::run_spec(
-                    program,
-                    RunSpec {
-                        policy: SchedPolicy::RandomChoice,
-                        persistence: PersistencePolicy::Random,
-                        seed: cfg.seed,
-                        crash_target: None,
-                    },
-                    Self::make_sink(sink_factory, config),
-                    config,
-                );
+                let profile = {
+                    let _t = tel.time(WallPhase::ProfileRun);
+                    Self::run_spec(
+                        program,
+                        RunSpec {
+                            policy: SchedPolicy::RandomChoice,
+                            persistence: PersistencePolicy::Random,
+                            seed: cfg.seed,
+                            crash_target: None,
+                        },
+                        Self::make_sink(sink_factory, config),
+                        config,
+                        tel,
+                    )
+                };
+                tel.execution_done();
                 crash_points = profile.points.iter().sum();
                 let est = profile.points.first().copied().unwrap_or(0);
                 acc.absorb_run(profile);
@@ -609,12 +660,18 @@ impl Engine {
                     })
                     .collect();
                 Self::sample_queue_depth(&mut queue_depth, specs.len());
-                for run in Self::run_specs(program, specs, sink_factory, workers, config) {
+                let runs = {
+                    let _t = tel.time(WallPhase::FullRun);
+                    Self::run_specs(program, specs, sink_factory, workers, config, tel, false)
+                };
+                let _t = tel.time(WallPhase::Merge);
+                for run in runs {
                     acc.absorb_run(run);
                 }
             }
         }
 
+        let _merge = tel.time(WallPhase::Merge);
         let RunAccumulator {
             races,
             panics,
@@ -646,13 +703,15 @@ impl Engine {
             t.set_coordinator(coord);
         }
 
+        let elapsed = start.elapsed();
+        tel.add_total(elapsed);
         RunReport::new(
             races.dedup_hits,
             races.into_sorted(),
             executions,
             crash_points,
             panics,
-            start.elapsed(),
+            elapsed,
             stats,
             fork,
             prune,
@@ -700,6 +759,7 @@ impl Engine {
     /// suffix is executed as well, and its outcome is asserted equal to the
     /// attributed one — the accumulator still absorbs the attributed runs,
     /// so the report (and the `prune.*` counters) match normal pruning.
+    #[allow(clippy::too_many_arguments)]
     fn run_pruned(
         program: &Program,
         log: SnapshotLog,
@@ -707,6 +767,7 @@ impl Engine {
         persistence: PersistencePolicy,
         workers: usize,
         acc: &mut RunAccumulator,
+        tel: &Arc<Telemetry>,
     ) {
         let SnapshotLog {
             snaps,
@@ -720,9 +781,19 @@ impl Engine {
         // Without paranoia, snapshot k is class k's representative; with
         // it, snapshot i is point i — either way the resumed runs come
         // back in class order, representative first.
-        let runs = Self::fan_out(snaps, workers, |snap| {
-            Self::resume_run(program, snap, profile_points, persistence)
-        });
+        let runs = {
+            let _t = tel.time(WallPhase::SuffixResume);
+            Self::fan_out(snaps, workers, tel, |snap| {
+                let run = Self::resume_run(program, snap, profile_points, persistence);
+                // Every physically resumed suffix completes one crash point
+                // (a representative here, or every point under paranoia).
+                tel.suffix_resumed();
+                tel.add_points_done(1);
+                tel.execution_done();
+                run
+            })
+        };
+        let _merge = tel.time(WallPhase::Merge);
         let mut runs = runs.into_iter();
         for &(start, len) in &classes {
             let rep = runs.next().expect("one run per representative");
@@ -747,6 +818,12 @@ impl Engine {
             }
             acc.prune.suffixes_skipped += members.len() as u64;
             acc.prune.events_attributed += rep.fork.suffix_events * members.len() as u64;
+            tel.add_pruned(members.len() as u64);
+            if !paranoid {
+                // Attribution completes the members' crash points; under
+                // paranoia each member was resumed (and counted) above.
+                tel.add_points_done(members.len() as u64);
+            }
             acc.absorb_run(rep);
             for synth in synthesized {
                 acc.absorb_run(synth);
@@ -941,51 +1018,106 @@ impl Engine {
         sink: Box<dyn EventSink>,
         config: &EngineConfig,
     ) -> SingleRun {
-        Self::run_inner(
+        Self::run_single_observed(
             program,
             policy,
             persistence,
             seed,
             crash_target,
             sink,
-            Vec::new(),
-            None,
-            Self::gc_period(config),
+            config,
+            Telemetry::off(),
         )
-        .0
     }
 
-    /// [`Engine::run_single`] over a [`RunSpec`].
+    /// [`Engine::run_single_with`] publishing wall-clock telemetry to
+    /// `tel` (see [`Engine::run_observed`] for the plane contract). The
+    /// whole run is attributed to the full-run phase.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_single_observed(
+        program: &Program,
+        policy: SchedPolicy,
+        persistence: PersistencePolicy,
+        seed: u64,
+        crash_target: Option<(usize, usize)>,
+        sink: Box<dyn EventSink>,
+        config: &EngineConfig,
+        tel: &Arc<Telemetry>,
+    ) -> SingleRun {
+        let start = Instant::now();
+        let run = {
+            let _t = tel.time(WallPhase::FullRun);
+            Self::run_inner(
+                program,
+                policy,
+                persistence,
+                seed,
+                crash_target,
+                sink,
+                Vec::new(),
+                None,
+                Self::gc_period(config),
+                tel,
+            )
+            .0
+        };
+        tel.execution_done();
+        tel.add_total(start.elapsed());
+        run
+    }
+
+    /// [`Engine::run_single`] over a [`RunSpec`]. The telemetry handle is
+    /// forwarded to the memory system for event-rate publishing only; no
+    /// phase or total time is attributed here (the caller owns that).
     fn run_spec(
         program: &Program,
         spec: RunSpec,
         sink: Box<dyn EventSink>,
         config: &EngineConfig,
+        tel: &Arc<Telemetry>,
     ) -> SingleRun {
-        Self::run_single_with(
+        Self::run_inner(
             program,
             spec.policy,
             spec.persistence,
             spec.seed,
             spec.crash_target,
             sink,
-            config,
+            Vec::new(),
+            None,
+            Self::gc_period(config),
+            tel,
         )
+        .0
     }
 
     /// Runs every spec, returning outcomes in spec order. With more than
     /// one worker the specs fan out over a bounded pool fed by a shared
     /// work queue; each worker builds a private sink per run, so runs
     /// never share mutable state.
+    #[allow(clippy::too_many_arguments)]
     fn run_specs(
         program: &Program,
         specs: Vec<RunSpec>,
         sink_factory: SinkFactory<'_>,
         workers: usize,
         config: &EngineConfig,
+        tel: &Arc<Telemetry>,
+        count_points: bool,
     ) -> Vec<SingleRun> {
-        Self::fan_out(specs, workers, |spec| {
-            Self::run_spec(program, spec, Self::make_sink(sink_factory, config), config)
+        Self::fan_out(specs, workers, tel, |spec| {
+            let run = Self::run_spec(
+                program,
+                spec,
+                Self::make_sink(sink_factory, config),
+                config,
+                tel,
+            );
+            tel.execution_done();
+            if count_points {
+                tel.add_points_done(1);
+            }
+            run
         })
     }
 
@@ -998,7 +1130,7 @@ impl Engine {
         sink_factory: SinkFactory<'_>,
         workers: usize,
     ) -> Vec<(SingleRun, Vec<(usize, usize)>)> {
-        Self::fan_out(scripts.to_vec(), workers, |script| {
+        Self::fan_out(scripts.to_vec(), workers, Telemetry::off(), |script| {
             let (run, log, _) = Self::run_inner(
                 program,
                 SchedPolicy::Scripted,
@@ -1009,6 +1141,7 @@ impl Engine {
                 script,
                 None,
                 Self::gc_period(&EngineConfig::default()),
+                Telemetry::off(),
             );
             (run, log)
         })
@@ -1018,14 +1151,36 @@ impl Engine {
     /// item order. Sequential when `workers <= 1` or there is at most one
     /// item; otherwise `min(workers, items)` scoped threads drain an MPMC
     /// work queue.
-    fn fan_out<T, R, F>(items: Vec<T>, workers: usize, job: F) -> Vec<R>
+    ///
+    /// When `tel` is enabled, each pool thread records its busy (in-job)
+    /// and idle (blocked on the queue) wall time — the queue-stall number
+    /// behind the `--profile` worker-utilization line. This is pure
+    /// observation: job order, results, and merging are unaffected.
+    fn fan_out<T, R, F>(items: Vec<T>, workers: usize, tel: &Telemetry, job: F) -> Vec<R>
     where
         T: Send,
         R: Send,
         F: Fn(T) -> R + Sync,
     {
         if workers <= 1 || items.len() <= 1 {
-            return items.into_iter().map(job).collect();
+            if !tel.enabled() {
+                return items.into_iter().map(job).collect();
+            }
+            let t0 = Instant::now();
+            let mut jobs = 0u64;
+            let results = items
+                .into_iter()
+                .map(|item| {
+                    jobs += 1;
+                    job(item)
+                })
+                .collect();
+            tel.record_worker(WorkerStat {
+                busy: t0.elapsed(),
+                idle: Duration::ZERO,
+                jobs,
+            });
+            return results;
         }
         let pool = workers.min(items.len());
         let mut slots: Vec<Option<R>> = Vec::new();
@@ -1044,9 +1199,22 @@ impl Engine {
                 let slots = &slots;
                 let job = &job;
                 scope.spawn(move || {
+                    let mut busy = Duration::ZERO;
+                    let mut idle = Duration::ZERO;
+                    let mut jobs = 0u64;
+                    let mut wait = Instant::now();
                     while let Ok((index, item)) = rx.recv() {
+                        idle += wait.elapsed();
+                        let t0 = Instant::now();
                         let result = job(item);
+                        busy += t0.elapsed();
+                        jobs += 1;
                         slots.lock().expect("result slots")[index] = Some(result);
+                        wait = Instant::now();
+                    }
+                    idle += wait.elapsed();
+                    if tel.enabled() {
+                        tel.record_worker(WorkerStat { busy, idle, jobs });
                     }
                 });
             }
@@ -1073,11 +1241,15 @@ impl Engine {
         script: Vec<usize>,
         snaplog: Option<SnapshotLog>,
         gc_every: Option<u64>,
+        tel: &Arc<Telemetry>,
     ) -> (SingleRun, Vec<(usize, usize)>, Option<SnapshotLog>) {
         install_quiet_panic_hook();
         let mut mem = MemState::new(program.compiler(), program.heap_bytes());
         if let Some(every) = gc_every {
             mem.enable_gc(every);
+        }
+        if tel.enabled() {
+            mem.set_telemetry(Arc::clone(tel));
         }
         let shared = Arc::new(Shared::new(mem, sink, policy, StdRng::seed_from_u64(seed)));
         shared.with_core(|core| {
@@ -1144,6 +1316,7 @@ impl Engine {
         points: Vec<usize>,
     ) -> (SingleRun, Vec<(usize, usize)>, Option<SnapshotLog>) {
         shared.with_core(|core| {
+            core.mem.tel_flush();
             let (cow_clones, cow_bytes) = core.mem.cow_stats();
             // Fold the sink's live-state gauges (detector flushmap residency)
             // into the memory system's GC stats; gauges merge by max so the

@@ -10,8 +10,11 @@
 //! per line, §4.1).
 
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use std::time::Instant;
 
 use compiler_model::CompilerConfig;
+use obs::telemetry::{Telemetry, WallPhase};
 use pmem::{Addr, CacheLineId, Forkable, PmAllocator, PmImage, ProvenanceMap};
 use px86::{Atomicity, FbEntry, FlushBuffer, SbEntry, SbStore, StoreBuffer};
 use rand::rngs::StdRng;
@@ -289,6 +292,14 @@ pub struct MemState {
     /// is what makes adjacent crash points with identical persisted images
     /// fingerprint-equal (the engine's equivalence pruning).
     fp: pmem::Fp64,
+    /// Wall-clock telemetry plane handle (`None` = off, the default).
+    /// Strictly write-only: the memory system publishes event counts and
+    /// GC pass timings into it but never reads anything back, so telemetry
+    /// cannot influence any simulated outcome.
+    tel: Option<Arc<Telemetry>>,
+    /// Events already published to `tel` (publishing is batched so the hot
+    /// path pays one branch, not an atomic per event).
+    tel_published: u64,
 }
 
 impl Forkable for MemState {
@@ -322,6 +333,12 @@ impl Forkable for MemState {
             commits_since_gc: self.commits_since_gc,
             gc: self.gc,
             fp: self.fp,
+            tel: self.tel.clone(),
+            // The fork starts its publish watermark at the prefix's event
+            // count: a resumed suffix publishes only the events it actually
+            // executes, never the inherited prefix (which the profiling run
+            // publishes exactly once).
+            tel_published: self.stats.events(),
         }
     }
 }
@@ -456,6 +473,49 @@ impl MemState {
             commits_since_gc: 0,
             gc: crate::report::GcStats::default(),
             fp: pmem::Fp64::new(),
+            tel: None,
+            tel_published: 0,
+        }
+    }
+
+    /// Attaches the wall-clock telemetry plane. The memory system publishes
+    /// batched event counts, the live-slot gauge, and GC pass wall timings
+    /// into it; see the field docs for why this cannot perturb the run.
+    pub fn set_telemetry(&mut self, tel: Arc<Telemetry>) {
+        self.tel_published = self.stats.events();
+        self.tel = Some(tel);
+    }
+
+    /// The attached telemetry handle, if any (the scheduler uses this to
+    /// time snapshot capture).
+    pub(crate) fn telemetry(&self) -> Option<Arc<Telemetry>> {
+        self.tel.clone()
+    }
+
+    /// Publishes accumulated events to the telemetry plane once enough have
+    /// built up since the last publish. One branch when telemetry is off.
+    fn tel_tick(&mut self) {
+        const BATCH: u64 = 4096;
+        if let Some(tel) = &self.tel {
+            let now = self.stats.events();
+            if now.wrapping_sub(self.tel_published) >= BATCH {
+                tel.add_events(now - self.tel_published);
+                tel.set_live_slots(self.events.len() as u64);
+                self.tel_published = now;
+            }
+        }
+    }
+
+    /// Publishes any remaining unpublished events (run end, crash
+    /// boundaries) so the telemetry totals match the executed work exactly.
+    pub(crate) fn tel_flush(&mut self) {
+        if let Some(tel) = &self.tel {
+            let now = self.stats.events();
+            if now > self.tel_published {
+                tel.add_events(now - self.tel_published);
+                self.tel_published = now;
+            }
+            tel.set_live_slots(self.events.len() as u64);
         }
     }
 
@@ -839,6 +899,7 @@ impl MemState {
                 sink.on_store_committed(event);
                 self.commits_since_gc += 1;
                 self.maybe_gc(sink);
+                self.tel_tick();
             }
             SbEntry::Clflush { addr, id } => {
                 let seq = self.fresh_seq();
@@ -991,6 +1052,19 @@ impl MemState {
     /// ascending order so detectors can drop per-store state
     /// deterministically.
     fn run_gc(&mut self, sink: &mut dyn EventSink) {
+        // Time the pass on the telemetry plane (write-only; the pass itself
+        // is oblivious to whether it is being timed).
+        if let Some(tel) = self.tel.clone() {
+            let t0 = Instant::now();
+            self.run_gc_inner(sink);
+            tel.add_phase(WallPhase::GcPass, t0.elapsed());
+            tel.set_live_slots(self.events.len() as u64);
+        } else {
+            self.run_gc_inner(sink);
+        }
+    }
+
+    fn run_gc_inner(&mut self, sink: &mut dyn EventSink) {
         self.gc.passes += 1;
         let mut roots: HashSet<EventId> = HashSet::new();
         self.cur.store_map.for_each_id(|id| {
@@ -1311,6 +1385,10 @@ impl MemState {
         }
         self.fp.absorb(5);
         self.fp.absorb(next_id as u64);
+        // Crash boundaries are natural publish points: the heartbeat sees
+        // progress even when the next phase is load-heavy (loads don't pass
+        // through `commit_entry`).
+        self.tel_flush();
     }
 
     /// Full content fingerprint of everything a crash at this instant can

@@ -459,6 +459,11 @@ impl Shared {
             // profiling-run half of the pruning win.
             return;
         }
+        // Telemetry (wall-clock plane): time the capture itself — the
+        // copy-on-write forks below are the snapshot cost the profile
+        // attributes to `snapshot-capture`.
+        let tel = mem.telemetry().filter(|t| t.enabled());
+        let t0 = tel.as_ref().map(|_| std::time::Instant::now());
         match sink.fork_sink() {
             Some(fsink) => log.snaps.push(Snapshot {
                 phase: log.phase,
@@ -470,6 +475,9 @@ impl Shared {
                 panics: panics.clone(),
             }),
             None => log.unsupported = true,
+        }
+        if let (Some(tel), Some(t0)) = (tel, t0) {
+            tel.add_phase(obs::WallPhase::SnapshotCapture, t0.elapsed());
         }
     }
 

@@ -18,6 +18,10 @@
 //!   loadable in Perfetto / `chrome://tracing`.
 //! * [`json`] — a minimal stable-field-order JSON writer (the workspace's
 //!   vendored `serde` is a no-op stub, so JSON is written by hand).
+//! * [`telemetry`] — the **second plane**: wall-clock phase timers, worker
+//!   utilization, and throughput time series for humans and dashboards.
+//!   Explicitly nondeterministic and write-only; it never feeds back into
+//!   the virtual-clock plane above (see the module docs for the contract).
 //!
 //! `obs` depends on nothing above the standard library; `jaaru` layers the
 //! engine wiring ([`SpanTraceSink`](../jaaru/sink) and trace collection) on
@@ -38,11 +42,15 @@ pub mod chrome;
 pub mod json;
 pub mod metrics;
 pub mod span;
+pub mod telemetry;
 
 pub use chrome::{to_chrome_json, write_chrome_json};
 pub use json::Json;
 pub use metrics::{Histogram, MetricsRegistry};
 pub use span::{Phase, RunTrace, Span, SpanInstant, TraceBuf};
+pub use telemetry::{
+    start_reporter, Reporter, ReporterConfig, Telemetry, TelemetrySample, WallPhase, WorkerStat,
+};
 
 /// Canonical metric names, shared by the engine's registry and the
 /// human-readable `--details` rendering so the two can never drift apart.

@@ -96,6 +96,25 @@ pub fn check_with(
     )
 }
 
+/// [`check_with`] publishing wall-clock telemetry (phase timers, worker
+/// utilization, progress counters) to `tel`. Telemetry is write-only: the
+/// returned report is byte-identical to [`check_with`]'s.
+pub fn check_observed(
+    program: &Program,
+    mode: ExecMode,
+    config: YashmeConfig,
+    engine: &EngineConfig,
+    tel: &std::sync::Arc<jaaru::obs::Telemetry>,
+) -> RunReport {
+    Engine::run_observed(
+        program,
+        mode,
+        &|| Box::new(YashmeDetector::new(config)),
+        engine,
+        tel,
+    )
+}
+
 /// Model-checks `program`: a crash is injected before every flush/fence
 /// point of the pre-crash phase (§6), with prefix expansion enabled.
 pub fn model_check(program: &Program) -> RunReport {

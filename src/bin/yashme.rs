@@ -13,8 +13,10 @@
 //! ```
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use bench::{evaluation_suite, SuiteEntry};
+use jaaru::obs::telemetry::{start_reporter, ReporterConfig, Telemetry};
 use jaaru::obs::Json;
 use jaaru::{EngineConfig, ExecMode};
 use yashme::{json, render, YashmeConfig};
@@ -34,6 +36,12 @@ struct Options {
     json: bool,
     trace_out: Option<String>,
     metrics_out: Option<String>,
+    // Wall-clock telemetry plane (all stderr/side-file; stdout — including
+    // `--json` — is byte-identical with these on or off).
+    progress: bool,
+    telemetry_out: Option<String>,
+    prom_out: Option<String>,
+    profile: bool,
     engine: EngineConfig,
 }
 
@@ -60,6 +68,10 @@ impl Default for Options {
             json: false,
             trace_out: None,
             metrics_out: None,
+            progress: false,
+            telemetry_out: None,
+            prom_out: None,
+            profile: false,
             engine: EngineConfig::from_env(),
         }
     }
@@ -70,7 +82,8 @@ fn usage() -> &'static str {
      [--mode model-check|random] [--executions N] [--seed S] \
      [--workers N|auto] [--no-fork] [--no-prune] [--no-gc] \
      [--gc-every N] [--gc-paranoid] [--sample-every N] [--baseline] [--eadr] \
-     [--details] [--explain] [--json] [--trace-out FILE] [--metrics-out FILE]"
+     [--details] [--explain] [--json] [--trace-out FILE] [--metrics-out FILE] \
+     [--progress] [--telemetry-out FILE.jsonl] [--prom-out FILE] [--profile]"
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -171,6 +184,22 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                         .clone(),
                 )
             }
+            "--progress" => opts.progress = true,
+            "--telemetry-out" => {
+                opts.telemetry_out = Some(
+                    it.next()
+                        .ok_or_else(|| "--telemetry-out needs a path".to_owned())?
+                        .clone(),
+                )
+            }
+            "--prom-out" => {
+                opts.prom_out = Some(
+                    it.next()
+                        .ok_or_else(|| "--prom-out needs a path".to_owned())?
+                        .clone(),
+                )
+            }
+            "--profile" => opts.profile = true,
             "--help" | "-h" => return Err(usage().to_owned()),
             other => return Err(format!("unknown argument {other:?}\n{}", usage())),
         }
@@ -223,7 +252,12 @@ fn write_file(path: &str, contents: &str, what: &str) -> Result<(), String> {
     std::fs::write(path, contents).map_err(|e| format!("writing {what} to {path}: {e}"))
 }
 
-fn run_one(entry: &SuiteEntry, opts: &Options, docs: &mut Vec<Json>) -> Result<usize, String> {
+fn run_one(
+    entry: &SuiteEntry,
+    opts: &Options,
+    tel: &Arc<Telemetry>,
+    docs: &mut Vec<Json>,
+) -> Result<usize, String> {
     let program = (entry.program)();
     let mode = match (opts.mode, entry.mode) {
         (Mode::ModelCheck, _) => ExecMode::model_check(),
@@ -231,7 +265,7 @@ fn run_one(entry: &SuiteEntry, opts: &Options, docs: &mut Vec<Json>) -> Result<u
         (Mode::Auto, bench::SuiteMode::ModelCheck) => ExecMode::model_check(),
         (Mode::Auto, bench::SuiteMode::Random(n)) => ExecMode::random(n, opts.seed),
     };
-    let report = yashme::check_with(&program, mode, config_of(opts), &opts.engine);
+    let report = yashme::check_observed(&program, mode, config_of(opts), &opts.engine, tel);
     if opts.json {
         docs.push(json::run_json(entry.name, &report, true));
     } else {
@@ -331,9 +365,27 @@ fn main() -> ExitCode {
         }
         return ExitCode::SUCCESS;
     }
+    // Wall-clock telemetry plane: enabled by any of its four flags. The
+    // reporter thread emits heartbeats/JSONL to stderr/side files only, so
+    // stdout (human tables or `--json`) can never interleave with it.
+    let telemetry_on =
+        opts.progress || opts.telemetry_out.is_some() || opts.prom_out.is_some() || opts.profile;
+    let tel = if telemetry_on {
+        Arc::new(Telemetry::new())
+    } else {
+        Arc::clone(Telemetry::off())
+    };
+    let reporter = start_reporter(
+        &tel,
+        ReporterConfig {
+            progress: opts.progress,
+            jsonl: opts.telemetry_out.clone().map(Into::into),
+            ..ReporterConfig::default()
+        },
+    );
     let mut total = 0;
     let mut docs = Vec::new();
-    let mut run = |e: &SuiteEntry| match run_one(e, &opts, &mut docs) {
+    let mut run = |e: &SuiteEntry| match run_one(e, &opts, &tel, &mut docs) {
         Ok(n) => {
             total += n;
             true
@@ -361,6 +413,18 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         }
+    }
+    // Stop the reporter (it emits one final sample) before rendering the
+    // post-run telemetry artifacts.
+    drop(reporter);
+    if let Some(path) = &opts.prom_out {
+        if let Err(msg) = write_file(path, &tel.to_prometheus(), "prometheus metrics") {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    }
+    if opts.profile {
+        eprint!("{}", tel.render_profile());
     }
     if opts.json {
         println!("{}", json::suite_json(docs, total).render());
