@@ -7,7 +7,7 @@
 //! `it_flags`/`cas` metadata written when an item is linked.
 
 use jaaru::{Atomicity, Ctx, Program};
-use pmdk::libpmem::{pmem_persist};
+use pmdk::libpmem::pmem_persist;
 use pmem::Addr;
 
 use crate::client::{Command, Wire};
@@ -71,15 +71,40 @@ impl Memcached {
         let slab_bytes = slab_bytes(items_per_slab);
         let slabs = ctx.alloc_line_aligned(num_slabs * slab_bytes);
         ctx.memset(slabs, 0, num_slabs * slab_bytes, "pslab format memset");
-        pmem_persist(ctx, slabs, num_slabs * slab_bytes);
-        ctx.store_u64(ctx.root_slot(SLOT_SIGNATURE), SIGNATURE, Atomicity::Plain, "pslab_pool.signature");
-        ctx.store_u64(ctx.root_slot(SLOT_SLABS), slabs.raw(), Atomicity::Plain, "pslab_pool.slabs");
-        pmem_persist(ctx, ctx.root_slot(SLOT_SIGNATURE), 8);
-        pmem_persist(ctx, ctx.root_slot(SLOT_SLABS), 8);
+        pmem_persist(ctx, slabs, num_slabs * slab_bytes, "pslab.format persist");
+        ctx.store_u64(
+            ctx.root_slot(SLOT_SIGNATURE),
+            SIGNATURE,
+            Atomicity::Plain,
+            "pslab_pool.signature",
+        );
+        ctx.store_u64(
+            ctx.root_slot(SLOT_SLABS),
+            slabs.raw(),
+            Atomicity::Plain,
+            "pslab_pool.slabs",
+        );
+        pmem_persist(
+            ctx,
+            ctx.root_slot(SLOT_SIGNATURE),
+            8,
+            "pslab_pool.signature persist",
+        );
+        pmem_persist(
+            ctx,
+            ctx.root_slot(SLOT_SLABS),
+            8,
+            "pslab_pool.slabs persist",
+        );
         // The racy store of bug #2: a plain flag write marking the pool
         // usable.
         ctx.store_u8(ctx.root_slot(SLOT_VALID), 1, Atomicity::Plain, PSLAB_VALID);
-        pmem_persist(ctx, ctx.root_slot(SLOT_VALID), 1);
+        pmem_persist(
+            ctx,
+            ctx.root_slot(SLOT_VALID),
+            1,
+            "pslab_pool.valid persist",
+        );
         Memcached {
             slabs,
             cas_counter: 0,
@@ -106,7 +131,7 @@ impl Memcached {
             // do_slabs_newslab: assign the slab to a size class.
             let id_addr = self.slab_addr(slab);
             ctx.store_u32(id_addr, slab as u32 + 1, Atomicity::Plain, PSLAB_ID);
-            pmem_persist(ctx, id_addr, 4);
+            pmem_persist(ctx, id_addr, 4, "pslab.id persist");
             self.assigned[slab as usize] = true;
         }
         for i in 0..self.items_per_slab {
@@ -117,12 +142,17 @@ impl Memcached {
                 // Payload first, fully persisted...
                 ctx.store_u64(item + OFF_KEY, key, Atomicity::Plain, "item.key");
                 ctx.store_u64(item + OFF_VALUE, value, Atomicity::Plain, "item.value");
-                pmem_persist(ctx, item + OFF_KEY, 16);
+                pmem_persist(ctx, item + OFF_KEY, 16, "item.payload persist");
                 // ...then the racy metadata.
                 self.cas_counter += 1;
                 ctx.store_u64(item + OFF_CAS, self.cas_counter, Atomicity::Plain, ITEM_CAS);
-                ctx.store_u8(item + OFF_IT_FLAGS, ITEM_LINKED, Atomicity::Plain, ITEM_IT_FLAGS);
-                pmem_persist(ctx, item, ITEM_STRIDE);
+                ctx.store_u8(
+                    item + OFF_IT_FLAGS,
+                    ITEM_LINKED,
+                    Atomicity::Plain,
+                    ITEM_IT_FLAGS,
+                );
+                pmem_persist(ctx, item, ITEM_STRIDE, "item.meta persist");
                 return true;
             }
         }
@@ -139,7 +169,7 @@ impl Memcached {
                 && ctx.load_u64(item + OFF_KEY, Atomicity::Plain) == key
             {
                 ctx.store_u8(item + OFF_IT_FLAGS, 0, Atomicity::Plain, ITEM_IT_FLAGS);
-                pmem_persist(ctx, item, 1);
+                pmem_persist(ctx, item, 1, "item.unlink persist");
                 return true;
             }
         }

@@ -49,7 +49,7 @@ impl Redis {
         let mut tx = Tx::begin(ctx, &pool);
         let dict = tx.alloc(ctx, NUM_BUCKETS * 8);
         ctx.memset(dict, 0, NUM_BUCKETS * 8, "redis dict init");
-        pmem_persist(ctx, dict, NUM_BUCKETS * 8);
+        pmem_persist(ctx, dict, NUM_BUCKETS * 8, "redis.dict persist");
         tx.commit(ctx);
         pool.set_root_obj(ctx, dict);
         Redis { pool, dict }
@@ -69,10 +69,25 @@ impl Redis {
         let head = ctx.load_u64(slot, Atomicity::Plain);
         let mut tx = Tx::begin(ctx, &self.pool);
         let entry = tx.alloc(ctx, ENTRY_BYTES);
-        ctx.store_u64(entry + OFF_KEY, key, Atomicity::Plain, "redis.dictEntry.key");
-        ctx.store_u64(entry + OFF_VALUE, value, Atomicity::Plain, "redis.dictEntry.value");
-        ctx.store_u64(entry + OFF_NEXT, head, Atomicity::Plain, "redis.dictEntry.next");
-        pmem_persist(ctx, entry, ENTRY_BYTES);
+        ctx.store_u64(
+            entry + OFF_KEY,
+            key,
+            Atomicity::Plain,
+            "redis.dictEntry.key",
+        );
+        ctx.store_u64(
+            entry + OFF_VALUE,
+            value,
+            Atomicity::Plain,
+            "redis.dictEntry.value",
+        );
+        ctx.store_u64(
+            entry + OFF_NEXT,
+            head,
+            Atomicity::Plain,
+            "redis.dictEntry.next",
+        );
+        pmem_persist(ctx, entry, ENTRY_BYTES, "redis.dictEntry persist");
         tx.add_range(ctx, slot, 8);
         ctx.store_u64(slot, entry.raw(), Atomicity::Plain, "redis.dict.bucket");
         tx.commit(ctx);

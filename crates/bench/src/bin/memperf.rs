@@ -193,13 +193,13 @@ fn replay_optimized(ops: &[Op]) -> (u64, Duration) {
                 } else {
                     Atomicity::Plain
                 };
-                let outcome = mem.exec_load(tids[t], base + off, len, a);
+                let outcome = mem.exec_load(tids[t], base + off, len, a, "r");
                 fold(&mut sum, &outcome);
             }
-            Op::Clflush { t, off } => mem.exec_clflush(tids[t], base + off),
-            Op::Clwb { t, off } => mem.exec_clwb(tids[t], base + off),
-            Op::Sfence { t } => mem.exec_sfence(tids[t]),
-            Op::Mfence { t } => mem.exec_mfence(&mut sink, tids[t]),
+            Op::Clflush { t, off } => mem.exec_clflush(tids[t], base + off, "f"),
+            Op::Clwb { t, off } => mem.exec_clwb(tids[t], base + off, "f"),
+            Op::Sfence { t } => mem.exec_sfence(tids[t], "sf"),
+            Op::Mfence { t } => mem.exec_mfence(&mut sink, tids[t], "mf"),
             Op::Cas {
                 t,
                 off,

@@ -2,11 +2,15 @@
 //! the execution budget grows, prefix vs baseline — the ablation behind the
 //! paper's claim that prefixes let a small number of crash events cover
 //! many executions.
+//!
+//! Accepts the shared engine flags (`--workers`, `--no-fork`, ...); the
+//! sweep itself is deterministic per seed at any worker count.
 
 use jaaru::ExecMode;
 use yashme::YashmeConfig;
 
 fn main() {
+    let c = bench::cli::common_args();
     let budgets = [1usize, 2, 5, 10, 20, 50];
     println!("Detection rate vs execution budget (random mode, seed 15)");
     println!();
@@ -30,13 +34,22 @@ fn main() {
         println!("{name} ({known} known races):");
         println!("  executions\tprefix\tbaseline");
         for &n in &budgets {
-            let prefix = yashme::check(&program, ExecMode::random(n, 15), YashmeConfig::default())
-                .race_labels()
-                .len();
-            let baseline =
-                yashme::check(&program, ExecMode::random(n, 15), YashmeConfig::baseline())
-                    .race_labels()
-                    .len();
+            let prefix = yashme::check_with(
+                &program,
+                ExecMode::random(n, 15),
+                YashmeConfig::default(),
+                &c.engine,
+            )
+            .race_labels()
+            .len();
+            let baseline = yashme::check_with(
+                &program,
+                ExecMode::random(n, 15),
+                YashmeConfig::baseline(),
+                &c.engine,
+            )
+            .race_labels()
+            .len();
             println!("  {n}\t\t{prefix}\t{baseline}");
         }
         println!();

@@ -9,8 +9,9 @@ use bench::{bug_finding_run_with, evaluation_suite};
 use jaaru::obs::Json;
 
 fn main() {
-    let engine = bench::cli_engine_config();
-    let as_json = bench::cli_has_flag("--json");
+    let c = bench::cli::common_args();
+    let engine = c.engine;
+    let as_json = c.has_flag("--json");
     if !as_json {
         println!("Table 4: races found in PMDK, Redis, and Memcached (random mode)");
         println!();

@@ -10,8 +10,9 @@ use jaaru::obs::Json;
 use jaaru::EngineConfig;
 
 fn main() {
-    let engine = bench::cli_engine_config();
-    let as_json = bench::cli_has_flag("--json");
+    let c = bench::cli::common_args();
+    let engine = c.engine;
+    let as_json = c.has_flag("--json");
     if !as_json {
         println!("Table 5: prefix vs baseline (single random execution, seed {HARNESS_SEED})");
         println!();

@@ -1,6 +1,12 @@
 //! Perf-regression gate: compares a fresh soak/memperf run against the
 //! checked-in `BENCH_*.json` baselines and flags drops outside generous
-//! thresholds.
+//! thresholds. Also hosts the coverage gate: a fresh table3
+//! `COVERAGE_baseline.json` is compared against the checked-in one, and
+//! the gate flags coverage *shrinking* (fewer sites, lower attribution,
+//! fewer persisted lines touched) or race exposure *growing* (more raced
+//! or unexercised sites). Coverage numbers are deterministic — measured
+//! on the virtual clock, byte-identical across workers × fork/prune/GC —
+//! so unlike the wall-clock checks these comparisons are exact.
 //!
 //! Wall-clock numbers move with the host, so the gate is deliberately
 //! loose: throughput may fall to a third of the baseline before it
@@ -105,6 +111,54 @@ fn throughput(checks: &mut Vec<Check>, baseline: &str, current: &str, file: &str
     });
 }
 
+/// A deterministic coverage counter the fresh run must keep at or above
+/// the checked-in baseline (sites, attribution, lines touched: coverage
+/// may grow, never silently shrink).
+fn floor(checks: &mut Vec<Check>, baseline: &str, current: &str, file: &str, key: &str) {
+    bound(checks, baseline, current, file, key, true);
+}
+
+/// A deterministic coverage counter the fresh run must keep at or below
+/// the baseline (raced / unexercised sites: exposure may shrink, never
+/// silently grow).
+fn ceiling(checks: &mut Vec<Check>, baseline: &str, current: &str, file: &str, key: &str) {
+    bound(checks, baseline, current, file, key, false);
+}
+
+fn bound(
+    checks: &mut Vec<Check>,
+    baseline: &str,
+    current: &str,
+    file: &str,
+    key: &str,
+    at_least: bool,
+) {
+    let b = field_f64(baseline, key);
+    let c = field_f64(current, key);
+    let (pass, detail) = match (b, c) {
+        (Some(b), Some(c)) => {
+            let pass = if at_least { c >= b } else { c <= b };
+            let dir = if at_least { "floor" } else { "ceiling" };
+            (
+                pass,
+                if pass {
+                    format!("within {dir} {b:.0}")
+                } else {
+                    format!("crossed {dir} {b:.0} — refresh the baseline if intended")
+                },
+            )
+        }
+        _ => (false, "missing field".to_owned()),
+    };
+    checks.push(Check {
+        name: format!("{file}:{key}"),
+        baseline: b,
+        current: c,
+        pass,
+        detail,
+    });
+}
+
 /// Both documents must carry the same schema version; a mismatch means
 /// the comparison itself is meaningless, so it fails the gate.
 fn schema(checks: &mut Vec<Check>, baseline: &str, current: &str, file: &str) {
@@ -144,7 +198,11 @@ fn main() {
     println!();
     let mut checks: Vec<Check> = Vec::new();
     let mut skipped: Vec<&str> = Vec::new();
-    for file in ["BENCH_soak.json", "BENCH_memperf.json"] {
+    for file in [
+        "BENCH_soak.json",
+        "BENCH_memperf.json",
+        "COVERAGE_baseline.json",
+    ] {
         let baseline = std::fs::read_to_string(format!("{baseline_dir}/{file}"));
         let current = std::fs::read_to_string(format!("{current_dir}/{file}"));
         let (Ok(baseline), Ok(current)) = (baseline, current) else {
@@ -164,6 +222,21 @@ fn main() {
                     file,
                     "sustained_events_per_s",
                 );
+            }
+            "COVERAGE_baseline.json" => {
+                // The aggregate summary leads the document, so the first
+                // occurrence of each key is the suite-wide total.
+                floor(&mut checks, &baseline, &current, file, "sites");
+                ceiling(&mut checks, &baseline, &current, file, "raced_sites");
+                ceiling(&mut checks, &baseline, &current, file, "unexercised_sites");
+                floor(
+                    &mut checks,
+                    &baseline,
+                    &current,
+                    file,
+                    "attributed_permille",
+                );
+                floor(&mut checks, &baseline, &current, file, "lines_touched");
             }
             _ => {
                 invariant(&mut checks, &current, file, "outcomes_identical");
@@ -207,7 +280,7 @@ fn main() {
     let mut json = String::from("{\n");
     json.push_str(&cli::meta_header(
         "trend",
-        "perf-regression gate over soak + memperf baselines",
+        "perf-regression gate over soak + memperf baselines, coverage gate over table3",
         None,
     ));
     let _ = writeln!(json, "  \"strict\": {strict},");
@@ -253,6 +326,24 @@ mod tests {
         throughput(&mut checks, base, bad, "f", "sustained_events_per_s");
         assert!(checks[0].pass, "{}", checks[0].detail);
         assert!(!checks[1].pass, "{}", checks[1].detail);
+    }
+
+    #[test]
+    fn coverage_bounds_are_directional_and_exact() {
+        let base = "{\"sites\":18,\"raced_sites\":3,\"attributed_permille\":1000}";
+        let same = base;
+        let grew = "{\"sites\":21,\"raced_sites\":2,\"attributed_permille\":1000}";
+        let shrank = "{\"sites\":17,\"raced_sites\":4,\"attributed_permille\":999}";
+        let mut checks = Vec::new();
+        for current in [same, grew, shrank] {
+            floor(&mut checks, base, current, "f", "sites");
+            ceiling(&mut checks, base, current, "f", "raced_sites");
+            floor(&mut checks, base, current, "f", "attributed_permille");
+        }
+        assert!(checks[..6].iter().all(|c| c.pass), "same/grew must pass");
+        assert!(checks[6..].iter().all(|c| !c.pass), "shrank must fail");
+        floor(&mut checks, base, "{}", "f", "sites");
+        assert!(!checks.last().unwrap().pass, "missing field fails");
     }
 
     #[test]

@@ -190,18 +190,6 @@ pub fn parse_args(args: impl IntoIterator<Item = String>) -> CommonArgs {
     }
 }
 
-/// Engine configuration from the command line (legacy helper; the table
-/// bins use this). Equivalent to [`common_args`]`.engine`.
-pub fn cli_engine_config() -> EngineConfig {
-    common_args().engine
-}
-
-/// True when the process arguments contain the flag verbatim (e.g.
-/// `cli_has_flag("--json")`).
-pub fn cli_has_flag(flag: &str) -> bool {
-    std::env::args().skip(1).any(|a| a == flag)
-}
-
 /// Renders the `schema_version` + run-metadata preamble of a hand-written
 /// `BENCH_*.json` document: schema version, bench name, workload
 /// description, and — when the bin drives the engine — the worker count

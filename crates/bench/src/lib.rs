@@ -10,8 +10,6 @@
 pub mod cli;
 pub mod workload;
 
-pub use cli::{cli_engine_config, cli_has_flag};
-
 use std::time::{Duration, Instant};
 
 use jaaru::obs::Json;

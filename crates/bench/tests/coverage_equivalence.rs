@@ -1,0 +1,117 @@
+//! Determinism contract for the coverage plane: the coverage JSON — the
+//! per-site verdict table, crash-space cartography, and suite document —
+//! is byte-identical across worker counts and across every physical
+//! strategy combination (fork/prune/GC on/off). Coverage is measured on
+//! the deterministic virtual clock; how the crash space was physically
+//! explored must never show through.
+
+use jaaru::{CoverageReport, EngineConfig};
+use yashme::json::{coverage_doc, coverage_suite_json};
+use yashme::YashmeConfig;
+
+/// One benchmark's coverage JSON under `engine`.
+fn coverage_bytes(engine: &EngineConfig) -> String {
+    let program = recipe::cceh::program();
+    let report = yashme::check_with(
+        &program,
+        jaaru::ExecMode::model_check(),
+        YashmeConfig::default(),
+        engine,
+    );
+    coverage_doc("CCEH", &report).render()
+}
+
+#[test]
+fn coverage_json_identical_at_workers_1_8_auto() {
+    let reference = coverage_bytes(&EngineConfig::with_workers(1));
+    for workers in [8usize, 0] {
+        let got = coverage_bytes(&EngineConfig::with_workers(workers));
+        assert_eq!(reference, got, "coverage differs at workers={workers}");
+    }
+}
+
+#[test]
+fn coverage_json_identical_across_fork_prune_gc() {
+    let reference = coverage_bytes(&EngineConfig::with_workers(1));
+    for mask in 0u8..8 {
+        let engine = EngineConfig::with_workers(4)
+            .with_fork(mask & 1 != 0)
+            .with_prune(mask & 2 != 0)
+            .with_gc(mask & 4 != 0);
+        let got = coverage_bytes(&engine);
+        assert_eq!(
+            reference,
+            got,
+            "coverage differs at fork={} prune={} gc={}",
+            mask & 1 != 0,
+            mask & 2 != 0,
+            mask & 4 != 0
+        );
+    }
+}
+
+#[test]
+fn suite_document_identical_across_strategies() {
+    let build = |engine: &EngineConfig| {
+        let mut aggregate = CoverageReport::default();
+        let mut docs = Vec::new();
+        for spec in recipe::all_benchmarks().into_iter().take(2) {
+            let report = yashme::model_check_with(&(spec.program)(), engine);
+            aggregate.absorb_suite(report.coverage());
+            docs.push(coverage_doc(spec.name, &report));
+        }
+        coverage_suite_json("table3", &aggregate, docs).render()
+    };
+    let reference = build(&EngineConfig::with_workers(1));
+    let strategies = [
+        EngineConfig::with_workers(8),
+        EngineConfig::with_workers(0),
+        EngineConfig::with_workers(4)
+            .with_fork(false)
+            .with_prune(false)
+            .with_gc(false),
+    ];
+    for engine in &strategies {
+        assert_eq!(
+            reference,
+            build(engine),
+            "suite doc differs under {engine:?}"
+        );
+    }
+}
+
+#[test]
+fn every_race_maps_to_a_named_raced_site() {
+    for spec in recipe::all_benchmarks() {
+        let report = yashme::model_check(&(spec.program)());
+        let cov = report.coverage();
+        for label in report.race_labels() {
+            let named = cov
+                .sites
+                .sorted()
+                .into_iter()
+                .any(|(_, l, s)| l == label && cov.verdict_for(l, &s) == jaaru::Verdict::Raced);
+            assert!(
+                named && !label.is_empty(),
+                "{}: race {label} has no named raced site",
+                spec.name
+            );
+        }
+    }
+}
+
+#[test]
+fn table3_attribution_is_at_least_950_permille() {
+    let mut aggregate = CoverageReport::default();
+    for spec in recipe::all_benchmarks() {
+        let report = yashme::model_check(&(spec.program)());
+        aggregate.absorb_suite(report.coverage());
+    }
+    let summary = aggregate.summary();
+    assert!(
+        summary.attributed_permille() >= 950,
+        "store/flush/fence attribution fell to {}‰ — an unlabeled flush or \
+         fence site crept into a shipped workload",
+        summary.attributed_permille()
+    );
+}

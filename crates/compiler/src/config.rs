@@ -162,12 +162,16 @@ mod tests {
         assert!(CompilerConfig::new(CompilerId::Gcc, Arch::Arm64, OptLevel::O3).tear_wide_stores);
         assert!(!CompilerConfig::new(CompilerId::Gcc, Arch::Arm64, OptLevel::O0).tear_wide_stores);
         assert!(!CompilerConfig::new(CompilerId::Gcc, Arch::X86_64, OptLevel::O3).tear_wide_stores);
-        assert!(!CompilerConfig::new(CompilerId::Clang, Arch::Arm64, OptLevel::O3).tear_wide_stores);
+        assert!(
+            !CompilerConfig::new(CompilerId::Clang, Arch::Arm64, OptLevel::O3).tear_wide_stores
+        );
     }
 
     #[test]
     fn o0_disables_mem_op_introduction() {
-        assert!(!CompilerConfig::new(CompilerId::Clang, Arch::X86_64, OptLevel::O0).introduce_mem_ops);
+        assert!(
+            !CompilerConfig::new(CompilerId::Clang, Arch::X86_64, OptLevel::O0).introduce_mem_ops
+        );
         assert!(CompilerConfig::clang_o3_x86().introduce_mem_ops);
     }
 

@@ -27,18 +27,12 @@ impl fmt::Display for StoreOptimization {
             StoreOptimization::NonAtomicStorePair => {
                 "Use a non-atomic pair of stores for a 64-bit store"
             }
-            StoreOptimization::ZeroRunToMemset => {
-                "Replace a seq. of stores of zero with a memset"
-            }
+            StoreOptimization::ZeroRunToMemset => "Replace a seq. of stores of zero with a memset",
             StoreOptimization::AssignRunToMemmoveOrMemcpy => {
                 "Replace a seq. of assignments with a memmove or memcpy"
             }
-            StoreOptimization::AssignRunToMemcpy => {
-                "Replace a seq. of assignments with a memcpy"
-            }
-            StoreOptimization::AssignRunToMemmove => {
-                "Replace a seq. of assignments with a memmove"
-            }
+            StoreOptimization::AssignRunToMemcpy => "Replace a seq. of assignments with a memcpy",
+            StoreOptimization::AssignRunToMemmove => "Replace a seq. of assignments with a memmove",
         })
     }
 }
@@ -103,8 +97,7 @@ mod tests {
             (CompilerId::Clang, Arch::Arm64),
             (CompilerId::Clang, Arch::X86_64),
         ] {
-            assert!(!observed_optimizations(c, a)
-                .contains(&StoreOptimization::NonAtomicStorePair));
+            assert!(!observed_optimizations(c, a).contains(&StoreOptimization::NonAtomicStorePair));
         }
         assert!(observed_optimizations(CompilerId::Gcc, Arch::Arm64)
             .contains(&StoreOptimization::NonAtomicStorePair));

@@ -42,7 +42,10 @@ fn replay(chunks: &[compiler_model::StoreChunk], base: Addr, len: usize) -> Vec<
     for c in chunks {
         for (i, &b) in c.bytes.iter().enumerate() {
             let at = c.addr.raw() + i as u64;
-            assert!(at >= base.raw() && at < base.raw() + len as u64, "chunk outside range");
+            assert!(
+                at >= base.raw() && at < base.raw() + len as u64,
+                "chunk outside range"
+            );
             mem[(at - base.raw()) as usize] = Some(b);
         }
     }

@@ -12,6 +12,7 @@
 
 pub mod pqueue;
 pub mod pskiplist;
+pub mod pstack;
 
 /// Which store discipline a structure uses for its publish fields.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -43,8 +43,8 @@ impl PQueue {
         let q = PQueue { base, variant };
         ctx.store_u64(base + OFF_HEAD, 0, variant.atomicity(), HEAD_LABEL);
         ctx.store_u64(base + OFF_TAIL, 0, variant.atomicity(), TAIL_LABEL);
-        ctx.clflush(base);
-        ctx.sfence();
+        ctx.clflush_labeled(base, "pqueue.header flush (pqueue)");
+        ctx.sfence_labeled("pqueue.header fence (pqueue)");
         q
     }
 
@@ -65,8 +65,8 @@ impl PQueue {
 
     fn store_idx(&self, ctx: &mut Ctx, off: u64, value: u64, label: &'static str) {
         ctx.store_u64(self.base + off, value, self.variant.atomicity(), label);
-        ctx.clflush(self.base + off);
-        ctx.sfence();
+        ctx.clflush_labeled(self.base + off, "pqueue.index flush (pqueue)");
+        ctx.sfence_labeled("pqueue.index fence (pqueue)");
     }
 
     /// Number of enqueued, not-yet-dequeued elements.
@@ -90,8 +90,8 @@ impl PQueue {
         }
         let slot = self.base + OFF_SLOTS + (tail % CAPACITY) * 8;
         ctx.store_u64(slot, value, Atomicity::Plain, "pqueue.slot");
-        ctx.clflush(slot);
-        ctx.sfence();
+        ctx.clflush_labeled(slot, "pqueue.slot flush (pqueue)");
+        ctx.sfence_labeled("pqueue.slot fence (pqueue)");
         self.store_idx(ctx, OFF_TAIL, tail + 1, TAIL_LABEL);
         true
     }

@@ -54,17 +54,17 @@ impl SkipList {
         let head = ctx.alloc_line_aligned(NODE_BYTES);
         ctx.memset(head, 0, NODE_BYTES, "skiplist head init");
         for line in head.lines_in_range(NODE_BYTES) {
-            ctx.clflush(line.base());
+            ctx.clflush_labeled(line.base(), "skiplist.head flush (pskiplist)");
         }
-        ctx.sfence();
+        ctx.sfence_labeled("skiplist.head fence (pskiplist)");
         ctx.store_u64(
             ctx.root_slot(HEAD_SLOT),
             head.raw(),
             Atomicity::ReleaseAcquire,
             "skiplist.head",
         );
-        ctx.clflush(ctx.root_slot(HEAD_SLOT));
-        ctx.sfence();
+        ctx.clflush_labeled(ctx.root_slot(HEAD_SLOT), "skiplist.head flush (pskiplist)");
+        ctx.sfence_labeled("skiplist.head fence (pskiplist)");
         SkipList { head, variant }
     }
 
@@ -88,8 +88,11 @@ impl SkipList {
             self.variant.atomicity(),
             LINK_LABEL,
         );
-        ctx.clflush(node + OFF_NEXT + level * 8);
-        ctx.sfence();
+        ctx.clflush_labeled(
+            node + OFF_NEXT + level * 8,
+            "skiplist.link flush (pskiplist)",
+        );
+        ctx.sfence_labeled("skiplist.link fence (pskiplist)");
     }
 
     /// Finds the per-level predecessors of `key`.
@@ -116,28 +119,43 @@ impl SkipList {
         // Update in place if present.
         if let Some(n) = valid(self.next(ctx, preds[0], 0)) {
             if ctx.load_u64(n + OFF_KEY, Atomicity::Plain) == key {
-                ctx.store_u64(n + OFF_VALUE, value, Atomicity::Plain, "skiplist.node.value");
-                ctx.clflush(n + OFF_VALUE);
-                ctx.sfence();
+                ctx.store_u64(
+                    n + OFF_VALUE,
+                    value,
+                    Atomicity::Plain,
+                    "skiplist.node.value",
+                );
+                ctx.clflush_labeled(n + OFF_VALUE, "skiplist.node.value flush (pskiplist)");
+                ctx.sfence_labeled("skiplist.node.value fence (pskiplist)");
                 return true;
             }
         }
         let height = height_of(key);
         let node = ctx.alloc_line_aligned(NODE_BYTES);
         ctx.store_u64(node + OFF_KEY, key, Atomicity::Plain, "skiplist.node.key");
-        ctx.store_u64(node + OFF_VALUE, value, Atomicity::Plain, "skiplist.node.value");
+        ctx.store_u64(
+            node + OFF_VALUE,
+            value,
+            Atomicity::Plain,
+            "skiplist.node.value",
+        );
         for level in 0..MAX_LEVEL {
             let succ = if level < height {
                 self.next(ctx, preds[level as usize], level)
             } else {
                 0
             };
-            ctx.store_u64(node + OFF_NEXT + level * 8, succ, Atomicity::Plain, LINK_LABEL);
+            ctx.store_u64(
+                node + OFF_NEXT + level * 8,
+                succ,
+                Atomicity::Plain,
+                LINK_LABEL,
+            );
         }
         for line in node.lines_in_range(NODE_BYTES) {
-            ctx.clflush(line.base());
+            ctx.clflush_labeled(line.base(), "skiplist.node flush (pskiplist)");
         }
-        ctx.sfence();
+        ctx.sfence_labeled("skiplist.node fence (pskiplist)");
         // Publish bottom-up.
         for level in 0..height {
             self.set_next(ctx, preds[level as usize], level, node.raw());

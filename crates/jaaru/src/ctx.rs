@@ -157,7 +157,7 @@ impl Ctx {
         let checksum = self.checksum_scope;
         let tid = self.tid;
         let bytes = self.shared.with_core(|core| {
-            let out = core.mem.exec_load(tid, addr, len, atomicity);
+            let out = core.mem.exec_load(tid, addr, len, atomicity, label);
             if !out.chosen.is_empty() || !out.candidates.is_empty() {
                 let info = core
                     .mem
@@ -215,38 +215,64 @@ impl Ctx {
 
     /// `clflush` of the line containing `addr`. A crash point.
     pub fn clflush(&mut self, addr: Addr) {
+        self.clflush_labeled(addr, "");
+    }
+
+    /// [`Ctx::clflush`] with an explicit site label for the coverage plane.
+    pub fn clflush_labeled(&mut self, addr: Addr, label: Label) {
         self.shared.crash_point(self.tid);
         self.shared
-            .with_core(|core| core.mem.exec_clflush(self.tid, addr));
+            .with_core(|core| core.mem.exec_clflush(self.tid, addr, label));
         self.shared.yield_now(self.tid);
     }
 
     /// `clwb` of the line containing `addr`. A crash point.
     pub fn clwb(&mut self, addr: Addr) {
+        self.clwb_labeled(addr, "");
+    }
+
+    /// [`Ctx::clwb`] with an explicit site label for the coverage plane.
+    pub fn clwb_labeled(&mut self, addr: Addr, label: Label) {
         self.shared.crash_point(self.tid);
         self.shared
-            .with_core(|core| core.mem.exec_clwb(self.tid, addr));
+            .with_core(|core| core.mem.exec_clwb(self.tid, addr, label));
         self.shared.yield_now(self.tid);
     }
 
     /// `clflushopt`: semantically identical to [`Ctx::clwb`] (§2).
     pub fn clflushopt(&mut self, addr: Addr) {
-        self.clwb(addr);
+        self.clwb_labeled(addr, "");
+    }
+
+    /// [`Ctx::clflushopt`] with an explicit site label.
+    pub fn clflushopt_labeled(&mut self, addr: Addr, label: Label) {
+        self.clwb_labeled(addr, label);
     }
 
     /// `sfence`. A crash point.
     pub fn sfence(&mut self) {
+        self.sfence_labeled("");
+    }
+
+    /// [`Ctx::sfence`] with an explicit site label for the coverage plane.
+    pub fn sfence_labeled(&mut self, label: Label) {
         self.shared.crash_point(self.tid);
-        self.shared.with_core(|core| core.mem.exec_sfence(self.tid));
+        self.shared
+            .with_core(|core| core.mem.exec_sfence(self.tid, label));
         self.shared.yield_now(self.tid);
     }
 
     /// `mfence`. A crash point.
     pub fn mfence(&mut self) {
+        self.mfence_labeled("");
+    }
+
+    /// [`Ctx::mfence`] with an explicit site label for the coverage plane.
+    pub fn mfence_labeled(&mut self, label: Label) {
         self.shared.crash_point(self.tid);
         self.shared.with_core(|core| {
             let Core { mem, sink, .. } = core;
-            mem.exec_mfence(sink.as_mut(), self.tid);
+            mem.exec_mfence(sink.as_mut(), self.tid, label);
         });
         self.shared.yield_now(self.tid);
     }

@@ -9,7 +9,7 @@
 //! merged in crash-target order and the de-duplicated reports are stably
 //! sorted by `(kind, label)` regardless of worker count.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -328,6 +328,8 @@ pub struct SingleRun {
     pub points: Vec<usize>,
     /// Operation counters across all phases.
     pub stats: crate::mem::ExecStats,
+    /// Coverage plane: per-site counters accumulated alongside `stats`.
+    pub cov: obs::SiteTable,
     /// Span trace of the run, when the sink recorded one
     /// ([`EngineConfig::trace`]).
     pub trace: Option<obs::TraceBuf>,
@@ -391,6 +393,7 @@ struct RunAccumulator {
     panics: Vec<String>,
     executions: usize,
     stats: crate::mem::ExecStats,
+    cov: obs::SiteTable,
     fork: ForkStats,
     prune: PruneStats,
     gc: GcStats,
@@ -407,6 +410,7 @@ impl RunAccumulator {
             panics: Vec::new(),
             executions: 0,
             stats: crate::mem::ExecStats::default(),
+            cov: obs::SiteTable::default(),
             fork: ForkStats::default(),
             prune: PruneStats::default(),
             gc: GcStats::default(),
@@ -417,6 +421,7 @@ impl RunAccumulator {
     fn absorb_run(&mut self, mut run: SingleRun) {
         self.executions += 1;
         self.stats.absorb(&run.stats);
+        self.cov.absorb(&run.cov);
         self.fork.absorb(&run.fork);
         self.gc.absorb(&run.gc);
         if let Some(t) = self.trace.as_mut() {
@@ -474,6 +479,7 @@ impl Engine {
         let workers = config.resolved_workers();
         let mut acc = RunAccumulator::new(config.trace);
         let mut queue_depth = obs::Histogram::new();
+        let mut cartography = obs::Cartography::default();
         let crash_points;
 
         match mode {
@@ -490,15 +496,20 @@ impl Engine {
                     seed: 0,
                     crash_target: None,
                 };
-                let capture_phases = if config.fork {
-                    1 + usize::from(cfg.crash_in_recovery)
-                } else {
-                    0
-                };
+                // The snapshot log always observes the targeted phases:
+                // every sampled crash point gets a `PointRecord`, from which
+                // the coverage plane's cartography is derived whatever the
+                // resume strategy. Snapshots themselves (the expensive part)
+                // are captured only in fork mode.
+                let capture_phases = 1 + usize::from(cfg.crash_in_recovery);
                 let sample = config.sample_every as usize;
-                let snaplog = (capture_phases > 0).then(|| {
-                    SnapshotLog::new(capture_phases, config.prune, config.prune_paranoid, sample)
-                });
+                let snaplog = Some(SnapshotLog::new(
+                    capture_phases,
+                    config.fork,
+                    config.prune,
+                    config.prune_paranoid,
+                    sample,
+                ));
                 let (profile, _, log) = {
                     let _t = tel.time(WallPhase::ProfileRun);
                     Self::run_inner(
@@ -535,6 +546,7 @@ impl Engine {
                 }
                 Self::sample_queue_depth(&mut queue_depth, targets.len());
                 tel.add_points_total(targets.len() as u64);
+                cartography = Self::build_cartography(&profile_points, log.as_ref());
                 // Resume from snapshots when the profiling run captured a
                 // usable set — one per target, or with pruning one per
                 // equivalence class; otherwise (fork disabled, or the sink
@@ -677,6 +689,7 @@ impl Engine {
             panics,
             executions,
             stats,
+            cov,
             fork,
             prune,
             gc,
@@ -705,14 +718,32 @@ impl Engine {
 
         let elapsed = start.elapsed();
         tel.add_total(elapsed);
+        let dedup_hits = races.dedup_hits;
+        let races = races.into_sorted();
+        // Coverage plane bundle: the accumulated site table, the
+        // cartography, and the labels the final report's persistency races
+        // name (sorted + deduplicated — they drive the `raced` verdicts).
+        let mut raced_labels: Vec<String> = races
+            .iter()
+            .filter(|r| r.kind() == crate::report::ReportKind::PersistencyRace)
+            .map(|r| r.label().to_owned())
+            .collect();
+        raced_labels.sort();
+        raced_labels.dedup();
+        let coverage = obs::CoverageReport {
+            sites: cov,
+            cartography,
+            raced_labels,
+        };
         RunReport::new(
-            races.dedup_hits,
-            races.into_sorted(),
+            dedup_hits,
+            races,
             executions,
             crash_points,
             panics,
             elapsed,
             stats,
+            coverage,
             fork,
             prune,
             gc,
@@ -748,6 +779,48 @@ impl Engine {
             }
         }
         classes
+    }
+
+    /// Derives the crash-space cartography from the profiling run's point
+    /// records: per targeted phase, how many crash points the program
+    /// offered, how many periodic sampling skipped, how many distinct
+    /// crash-state equivalence classes the sampled points fell into
+    /// (`explored` — what pruning resumes, and what exhaustive resumption
+    /// covers redundantly), and the class-size histogram.
+    ///
+    /// Everything is computed from the record stream and the fingerprint
+    /// structure, both of which are strategy-independent, so the chart is
+    /// byte-identical across fork/prune/GC on/off and every worker count.
+    fn build_cartography(profile_points: &[usize], log: Option<&SnapshotLog>) -> obs::Cartography {
+        let Some(log) = log else {
+            return obs::Cartography::default();
+        };
+        let classes = Self::class_ranges(&log.records);
+        let phases = (0..log.capture_phases.min(profile_points.len()))
+            .map(|p| {
+                let points = profile_points[p] as u64;
+                let sampled = log.records.iter().filter(|r| r.phase == p).count() as u64;
+                let mut sizes: HashMap<u64, u64> = HashMap::new();
+                let mut explored = 0u64;
+                for &(start, len) in &classes {
+                    if log.records[start].phase == p {
+                        explored += 1;
+                        *sizes.entry(len as u64).or_insert(0) += 1;
+                    }
+                }
+                let mut class_sizes: Vec<(u64, u64)> = sizes.into_iter().collect();
+                class_sizes.sort_unstable();
+                obs::PhaseChart {
+                    phase: p,
+                    points,
+                    sampled_out: points - sampled,
+                    explored,
+                    prunable: sampled - explored,
+                    class_sizes,
+                }
+            })
+            .collect();
+        obs::Cartography { phases }
     }
 
     /// Pruned resumption: resumes one representative suffix per equivalence
@@ -844,6 +917,10 @@ impl Engine {
     fn attribute_member(rep: &SingleRun, rep_rec: &PointRecord, member: &PointRecord) -> SingleRun {
         let mut stats = member.stats;
         stats.absorb(&rep.stats.minus(&rep_rec.stats));
+        // Coverage attributes exactly like stats: the member's own recorded
+        // prefix plus the representative's post-crash suffix delta.
+        let mut cov = member.cov.clone();
+        cov.absorb(&rep.cov.minus(&rep_rec.cov));
         let mut points = rep.points.clone();
         points[member.phase] = member.point + 1;
         SingleRun {
@@ -851,6 +928,7 @@ impl Engine {
             panics: rep.panics.clone(),
             points,
             stats,
+            cov,
             trace: rep.trace.clone(),
             fork: ForkStats {
                 resumed_runs: 1,
@@ -871,8 +949,12 @@ impl Engine {
     /// on every event, which already makes each point its own class).
     fn run_fingerprint(run: &SingleRun) -> String {
         format!(
-            "{:?}|{:?}|{:?}|{:?}",
-            run.reports, run.panics, run.points, run.stats
+            "{:?}|{:?}|{:?}|{:?}|{}",
+            run.reports,
+            run.panics,
+            run.points,
+            run.stats,
+            run.cov.canonical()
         )
     }
 
@@ -1338,6 +1420,7 @@ impl Engine {
                     panics: std::mem::take(&mut core.panics),
                     points,
                     stats: core.mem.stats,
+                    cov: std::mem::take(&mut core.mem.cov),
                     trace: core.sink.drain_trace(),
                     fork: ForkStats {
                         cow_clones,

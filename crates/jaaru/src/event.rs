@@ -108,6 +108,9 @@ pub struct FlushEvent {
     pub addr: Addr,
     /// Cache-commit sequence number; `None` while buffered.
     pub seq: Option<Seq>,
+    /// Static site label of the flushing instruction (`""` when the
+    /// benchmark used an unlabeled shim); feeds the coverage plane.
+    pub label: Label,
 }
 
 impl FlushEvent {

@@ -59,6 +59,10 @@ pub use engine::{
 };
 pub use event::{EventId, ExecId, FlushEvent, FlushKind, Label, LoadInfo, StoreEvent};
 pub use mem::{ExecState, ExecStats, LoadOutcome, MemState, PersistencePolicy, ROOT_REGION_BYTES};
+pub use obs::coverage::{
+    coverage_json, Cartography, CoverageReport, CoverageSummary, PhaseChart, SiteKind, SiteStats,
+    SiteTable, Verdict,
+};
 pub use program::{PhaseFn, Program};
 pub use report::{
     ForkStats, GcStats, PruneStats, RaceProvenance, RaceReport, ReportKind, RunReport,

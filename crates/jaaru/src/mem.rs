@@ -21,6 +21,8 @@ use rand::rngs::StdRng;
 use rand::Rng;
 use vclock::{ThreadId, VectorClock};
 
+use obs::coverage::{SiteKind, SiteTable};
+
 use crate::event::{EventId, ExecId, FlushEvent, FlushKind, Label, LoadInfo, StoreEvent};
 use crate::sink::EventSink;
 
@@ -260,6 +262,10 @@ pub struct MemState {
     /// (Fig. 8's `Evict_FB` takes the *fence's* CV, which must be captured
     /// when the sfence executes, not when it drains).
     fence_cvs: HashMap<EventId, VectorClock>,
+    /// For each sfence still buffered: its static site label, so the
+    /// coverage plane can classify the fence (draining vs empty) when it
+    /// commits. Kept outside `px86::SbEntry`, which stays label-free.
+    fence_labels: HashMap<EventId, Label>,
     /// Current execution.
     pub cur: ExecState,
     /// Crashed executions, oldest first.
@@ -275,6 +281,10 @@ pub struct MemState {
     pub alloc: PmAllocator,
     /// Operation counters.
     pub stats: ExecStats,
+    /// Coverage plane: per-site counters and the persisted-line heatmap.
+    /// Accumulates alongside `stats` and follows the same fork / absorb /
+    /// prune-attribution flow; never feeds back into `fp` or the detector.
+    pub cov: SiteTable,
     /// Streaming GC: run a mark-sweep pass every this many committed stores
     /// (`None` = GC off, the default for directly constructed states).
     gc_every: Option<u64>,
@@ -322,6 +332,7 @@ impl Forkable for MemState {
             cvs: self.cvs.clone(),
             clwb_marks: self.clwb_marks.clone(),
             fence_cvs: self.fence_cvs.clone(),
+            fence_labels: self.fence_labels.clone(),
             cur: self.cur.fork(),
             past: self.past.iter().map(Forkable::fork).collect(),
             image: self.image.fork(),
@@ -329,6 +340,7 @@ impl Forkable for MemState {
             bypass_scratch: Vec::new(),
             alloc: self.alloc.clone(),
             stats: self.stats,
+            cov: self.cov.clone(),
             gc_every: self.gc_every,
             commits_since_gc: self.commits_since_gc,
             gc: self.gc,
@@ -462,6 +474,7 @@ impl MemState {
             cvs: Vec::new(),
             clwb_marks: HashMap::new(),
             fence_cvs: HashMap::new(),
+            fence_labels: HashMap::new(),
             cur: ExecState::new(0),
             past: Vec::new(),
             image: PmImage::new(),
@@ -469,6 +482,7 @@ impl MemState {
             bypass_scratch: Vec::new(),
             alloc: PmAllocator::new(Addr::BASE + ROOT_REGION_BYTES, heap_bytes),
             stats: ExecStats::default(),
+            cov: SiteTable::default(),
             gc_every: None,
             commits_since_gc: 0,
             gc: crate::report::GcStats::default(),
@@ -763,6 +777,7 @@ impl MemState {
                 seq: None,
             };
             self.stats.stores_executed += 1;
+            self.cov.record(SiteKind::Store, label).executed += 1;
             sink.on_store_executed(&event);
             self.events.insert(id, event);
             self.sbs[thread.as_usize()].push(SbEntry::Store(SbStore {
@@ -775,20 +790,28 @@ impl MemState {
     }
 
     /// Executes a `clflush` (enters the store buffer).
-    pub fn exec_clflush(&mut self, thread: ThreadId, addr: Addr) {
+    pub fn exec_clflush(&mut self, thread: ThreadId, addr: Addr, label: Label) {
         self.stats.flushes += 1;
-        let id = self.push_flush(thread, addr, FlushKind::Clflush);
+        self.cov.record(SiteKind::Flush, label).executed += 1;
+        let id = self.push_flush(thread, addr, FlushKind::Clflush, label);
         self.sbs[thread.as_usize()].push(SbEntry::Clflush { addr, id });
     }
 
     /// Executes a `clwb`/`clflushopt` (enters the store buffer).
-    pub fn exec_clwb(&mut self, thread: ThreadId, addr: Addr) {
+    pub fn exec_clwb(&mut self, thread: ThreadId, addr: Addr, label: Label) {
         self.stats.flushes += 1;
-        let id = self.push_flush(thread, addr, FlushKind::Clwb);
+        self.cov.record(SiteKind::Flush, label).executed += 1;
+        let id = self.push_flush(thread, addr, FlushKind::Clwb, label);
         self.sbs[thread.as_usize()].push(SbEntry::Clwb { addr, id });
     }
 
-    fn push_flush(&mut self, thread: ThreadId, addr: Addr, kind: FlushKind) -> EventId {
+    fn push_flush(
+        &mut self,
+        thread: ThreadId,
+        addr: Addr,
+        kind: FlushKind,
+        label: Label,
+    ) -> EventId {
         let clock = self.cvs[thread.as_usize()].tick(thread);
         let id = self.fresh_event_id();
         let event = FlushEvent {
@@ -800,29 +823,39 @@ impl MemState {
             kind,
             addr,
             seq: None,
+            label,
         };
         self.flushes.insert(id, event);
         id
     }
 
     /// Executes an `sfence` (enters the store buffer).
-    pub fn exec_sfence(&mut self, thread: ThreadId) {
+    pub fn exec_sfence(&mut self, thread: ThreadId, label: Label) {
         self.stats.fences += 1;
+        self.cov.record(SiteKind::Fence, label).executed += 1;
         self.cvs[thread.as_usize()].tick(thread);
         let id = self.fresh_event_id();
         self.fence_cvs
             .insert(id, self.cvs[thread.as_usize()].clone());
+        self.fence_labels.insert(id, label);
         self.sbs[thread.as_usize()].push(SbEntry::Sfence { id });
     }
 
     /// Executes an `mfence`: drains the thread's store buffer in order, then
     /// makes the flush buffer persistent (Fig. 7's `Exec_MFENCE`).
-    pub fn exec_mfence(&mut self, sink: &mut dyn EventSink, thread: ThreadId) {
+    pub fn exec_mfence(&mut self, sink: &mut dyn EventSink, thread: ThreadId, label: Label) {
         self.stats.fences += 1;
+        self.cov.record(SiteKind::Fence, label).executed += 1;
         self.cvs[thread.as_usize()].tick(thread);
         self.drain_sb(sink, thread);
         let fence_cv = self.cvs[thread.as_usize()].clone();
-        self.fence_fb(sink, thread, &fence_cv);
+        let drained = self.fence_fb(sink, thread, &fence_cv);
+        let s = self.cov.record(SiteKind::Fence, label);
+        if drained > 0 {
+            s.draining += 1;
+        } else {
+            s.empty += 1;
+        }
     }
 
     // ------------------------------------------------------------------
@@ -883,6 +916,7 @@ impl MemState {
                     cur,
                     stats,
                     fp,
+                    cov,
                     ..
                 } = self;
                 let event = events.get(s.id);
@@ -890,6 +924,7 @@ impl MemState {
                 cur.store_map.set_range(s.addr, s.len, s.id);
                 cur.line_order.entry(line).or_default().order.push(s.id);
                 stats.stores_committed += 1;
+                cov.record(SiteKind::Store, event.label).committed += 1;
                 // A committed store always changes the crash state (it joins
                 // the line's persistable prefix).
                 fp.absorb(1);
@@ -926,11 +961,15 @@ impl MemState {
                     self.fp.absorb(line.0);
                     self.fp.absorb(committed as u64);
                 }
-                self.materialize_floor(line);
                 // The flush event is read exactly once (here), so its map
                 // entry can be dropped regardless of GC mode.
                 let mut flush = self.flushes.remove(&id).expect("flush event exists");
                 flush.seq = Some(seq);
+                // Coverage: classify the flush and credit the stores whose
+                // line prefix it just persisted — before `materialize_floor`
+                // can retire those entries from the log.
+                self.cov_floor_raise(flush.label, line, prev, committed);
+                self.materialize_floor(line);
                 if self.gc_every.is_some() {
                     self.gc.flushes_retired += 1;
                 }
@@ -951,14 +990,30 @@ impl MemState {
             SbEntry::Sfence { id } => {
                 let _seq = self.fresh_seq();
                 let fence_cv = self.fence_cvs.remove(&id).expect("sfence exec CV recorded");
-                self.fence_fb(sink, thread, &fence_cv);
+                let label = self.fence_labels.remove(&id).unwrap_or("");
+                let drained = self.fence_fb(sink, thread, &fence_cv);
+                let s = self.cov.record(SiteKind::Fence, label);
+                if drained > 0 {
+                    s.draining += 1;
+                } else {
+                    s.empty += 1;
+                }
             }
         }
     }
 
     /// Makes every pending `clwb` of `thread` persistent: `Evict_FB`.
-    fn fence_fb(&mut self, sink: &mut dyn EventSink, thread: ThreadId, fence_cv: &VectorClock) {
+    /// Returns the number of flush-buffer entries retired, so the fence
+    /// that triggered the drain can be classified draining vs empty.
+    fn fence_fb(
+        &mut self,
+        sink: &mut dyn EventSink,
+        thread: ThreadId,
+        fence_cv: &VectorClock,
+    ) -> usize {
+        let mut drained = 0usize;
         for fb in self.fbs[thread.as_usize()].take_all() {
+            drained += 1;
             let line = fb.addr.cache_line();
             let mark = self.clwb_marks.remove(&fb.id).unwrap_or(0);
             let prev = {
@@ -974,14 +1029,39 @@ impl MemState {
                 self.fp.absorb(line.0);
                 self.fp.absorb(mark as u64);
             }
-            self.materialize_floor(line);
             // A clwb fences exactly once; its event entry dies here.
             let clwb = self.flushes.remove(&fb.id).expect("clwb event exists");
+            self.cov_floor_raise(clwb.label, line, prev, mark);
+            self.materialize_floor(line);
             if self.gc_every.is_some() {
                 self.gc.flushes_retired += 1;
             }
             let line_stores = line_store_refs(&self.events, &self.cur.store_map, line);
             sink.on_clwb_fenced(&clwb, fence_cv, &line_stores);
+        }
+        drained
+    }
+
+    /// Coverage bookkeeping for one flush commit: classifies the flush site
+    /// as effective (`new > prev`, the persisted floor rose) or redundant,
+    /// credits a `persisted` count to every store site in the newly
+    /// persisted prefix slice, and heats the touched line. Must run before
+    /// `materialize_floor`, which may retire the slice from the line log.
+    fn cov_floor_raise(&mut self, label: Label, line: CacheLineId, prev: usize, new: usize) {
+        if new <= prev {
+            self.cov.record(SiteKind::Flush, label).redundant += 1;
+            return;
+        }
+        self.cov.record(SiteKind::Flush, label).effective += 1;
+        self.cov.touch_line(line.base().0);
+        let MemState {
+            events, cur, cov, ..
+        } = self;
+        if let Some(log) = cur.line_order.get(&line) {
+            let newly = &log.suffix_from(prev)[..new - prev.max(log.retired)];
+            for &id in newly {
+                cov.record(SiteKind::Store, events.get(id).label).persisted += 1;
+            }
         }
     }
 
@@ -1124,8 +1204,10 @@ impl MemState {
         addr: Addr,
         len: u64,
         atomicity: Atomicity,
+        label: Label,
     ) -> LoadOutcome {
         self.stats.loads += 1;
+        self.cov.record(SiteKind::Load, label).executed += 1;
         self.cvs[thread.as_usize()].tick(thread);
         let mut bypass = std::mem::take(&mut self.bypass_scratch);
         self.sbs[thread.as_usize()].bypass_bytes_into(addr, len, &mut bypass);
@@ -1245,6 +1327,12 @@ impl MemState {
                 }
             }
         }
+        // Coverage: a load site that resolved at least one byte through a
+        // recovered image store observed pre-crash state — the scenario
+        // class persistency races live in.
+        if !chosen.items.is_empty() {
+            self.cov.record(SiteKind::Load, label).pre_crash += 1;
+        }
         LoadOutcome {
             bytes,
             chosen: chosen.into_vec(),
@@ -1294,7 +1382,7 @@ impl MemState {
         self.drain_sb(sink, thread);
         let fence_cv = self.cvs[thread.as_usize()].clone();
         self.fence_fb(sink, thread, &fence_cv);
-        let outcome = self.exec_load(thread, addr, 8, Atomicity::ReleaseAcquire);
+        let outcome = self.exec_load(thread, addr, 8, Atomicity::ReleaseAcquire, label);
         let old = u64::from_le_bytes(outcome.bytes[..].try_into().expect("8 bytes"));
         let swapped = old == expected;
         if swapped {
@@ -1551,12 +1639,12 @@ mod tests {
         m.exec_store(&mut sink, t, a, &7u64.to_le_bytes(), Atomicity::Plain, "x");
         // Still buffered: bypass serves the value.
         assert_eq!(m.sb_len(t), 1);
-        let out = m.exec_load(t, a, 8, Atomicity::Plain);
+        let out = m.exec_load(t, a, 8, Atomicity::Plain, "r");
         assert_eq!(u64::from_le_bytes(out.bytes.try_into().unwrap()), 7);
         // Commit and read from cache.
         m.drain_sb(&mut sink, t);
         assert_eq!(m.sb_len(t), 0);
-        let out = m.exec_load(t, a, 8, Atomicity::Plain);
+        let out = m.exec_load(t, a, 8, Atomicity::Plain, "r");
         assert_eq!(u64::from_le_bytes(out.bytes.try_into().unwrap()), 7);
         assert!(out.chosen.is_empty(), "same-execution read");
     }
@@ -1571,7 +1659,7 @@ mod tests {
         // No drain: the store dies in the buffer.
         m.crash(PersistencePolicy::FullCache, &mut rng());
         let t2 = m.register_thread(None);
-        let out = m.exec_load(t2, a, 8, Atomicity::Plain);
+        let out = m.exec_load(t2, a, 8, Atomicity::Plain, "r");
         assert_eq!(u64::from_le_bytes(out.bytes.try_into().unwrap()), 0);
         assert!(out.chosen.is_empty());
         assert!(out.candidates.is_empty());
@@ -1587,7 +1675,7 @@ mod tests {
         m.drain_sb(&mut sink, t);
         m.crash(PersistencePolicy::FullCache, &mut rng());
         let t2 = m.register_thread(None);
-        let out = m.exec_load(t2, a, 8, Atomicity::Plain);
+        let out = m.exec_load(t2, a, 8, Atomicity::Plain, "r");
         assert_eq!(u64::from_le_bytes(out.bytes.try_into().unwrap()), 7);
         assert_eq!(out.chosen.len(), 1);
         assert_eq!(out.candidates.len(), 1);
@@ -1603,7 +1691,7 @@ mod tests {
         m.drain_sb(&mut sink, t);
         m.crash(PersistencePolicy::FloorOnly, &mut rng());
         let t2 = m.register_thread(None);
-        let out = m.exec_load(t2, a, 8, Atomicity::Plain);
+        let out = m.exec_load(t2, a, 8, Atomicity::Plain, "r");
         assert_eq!(u64::from_le_bytes(out.bytes.try_into().unwrap()), 0);
         // The committed-but-unpersisted store is still a read candidate.
         assert_eq!(out.candidates.len(), 1);
@@ -1617,11 +1705,11 @@ mod tests {
         let t = m.register_thread(None);
         let a = Addr(0x1000);
         m.exec_store(&mut sink, t, a, &7u64.to_le_bytes(), Atomicity::Plain, "x");
-        m.exec_clflush(t, a);
+        m.exec_clflush(t, a, "f");
         m.drain_sb(&mut sink, t);
         m.crash(PersistencePolicy::FloorOnly, &mut rng());
         let t2 = m.register_thread(None);
-        let out = m.exec_load(t2, a, 8, Atomicity::Plain);
+        let out = m.exec_load(t2, a, 8, Atomicity::Plain, "r");
         assert_eq!(u64::from_le_bytes(out.bytes.try_into().unwrap()), 7);
     }
 
@@ -1633,23 +1721,23 @@ mod tests {
         let t = m.register_thread(None);
         let a = Addr(0x1000);
         m.exec_store(&mut sink, t, a, &7u64.to_le_bytes(), Atomicity::Plain, "x");
-        m.exec_clwb(t, a);
+        m.exec_clwb(t, a, "f");
         m.drain_sb(&mut sink, t);
         m.crash(PersistencePolicy::FloorOnly, &mut rng());
         let t2 = m.register_thread(None);
-        let out = m.exec_load(t2, a, 8, Atomicity::Plain);
+        let out = m.exec_load(t2, a, 8, Atomicity::Plain, "r");
         assert_eq!(u64::from_le_bytes(out.bytes.try_into().unwrap()), 0);
 
         // clwb + sfence: persisted.
         let mut m = mem();
         let t = m.register_thread(None);
         m.exec_store(&mut sink, t, a, &7u64.to_le_bytes(), Atomicity::Plain, "x");
-        m.exec_clwb(t, a);
-        m.exec_sfence(t);
+        m.exec_clwb(t, a, "f");
+        m.exec_sfence(t, "sf");
         m.drain_sb(&mut sink, t);
         m.crash(PersistencePolicy::FloorOnly, &mut rng());
         let t2 = m.register_thread(None);
-        let out = m.exec_load(t2, a, 8, Atomicity::Plain);
+        let out = m.exec_load(t2, a, 8, Atomicity::Plain, "r");
         assert_eq!(u64::from_le_bytes(out.bytes.try_into().unwrap()), 7);
     }
 
@@ -1675,7 +1763,7 @@ mod tests {
             let mut r = StdRng::seed_from_u64(seed);
             m.crash(PersistencePolicy::Random, &mut r);
             let t2 = m.register_thread(None);
-            let out = m.exec_load(t2, a, 8, Atomicity::Plain);
+            let out = m.exec_load(t2, a, 8, Atomicity::Plain, "r");
             let v = u64::from_le_bytes(out.bytes.try_into().unwrap());
             if v == 0x1234_5678 {
                 hits += 1;
@@ -1722,12 +1810,12 @@ mod tests {
         let a = Addr(0x1000);
         m.exec_memset(&mut sink, t, a, 0xab, 20, "init");
         m.drain_sb(&mut sink, t);
-        let out = m.exec_load(t, a, 20, Atomicity::Plain);
+        let out = m.exec_load(t, a, 20, Atomicity::Plain, "r");
         assert!(out.bytes.iter().all(|&b| b == 0xab));
         let data: Vec<u8> = (0..20).collect();
         m.exec_memcpy(&mut sink, t, a, &data, "copy");
         m.drain_sb(&mut sink, t);
-        let out = m.exec_load(t, a, 20, Atomicity::Plain);
+        let out = m.exec_load(t, a, 20, Atomicity::Plain, "r");
         assert_eq!(out.bytes, data);
     }
 
@@ -1774,7 +1862,7 @@ mod tests {
         m.drain_sb(&mut sink, t);
         m.crash(PersistencePolicy::FullCache, &mut rng());
         let t2 = m.register_thread(None);
-        let out = m.exec_load(t2, a, 8, Atomicity::Plain);
+        let out = m.exec_load(t2, a, 8, Atomicity::Plain, "r");
         assert_eq!(u64::from_le_bytes(out.bytes.try_into().unwrap()), 2);
         assert_eq!(out.chosen.len(), 1);
         assert_eq!(out.candidates.len(), 2, "both stores are candidates");
@@ -1816,7 +1904,7 @@ mod tests {
         // Flush persists both; a third store then supersedes them in the
         // storemap and image provenance, so the fully-decided first store
         // retires on a later pass while the still-provenant second stays.
-        m.exec_clflush(t, a);
+        m.exec_clflush(t, a, "f");
         m.exec_store(
             &mut sink,
             t,
@@ -1844,17 +1932,17 @@ mod tests {
                 let a = Addr(0x1000 + (i % 4) * 64);
                 m.exec_store(&mut sink, t, a, &i.to_le_bytes(), Atomicity::Plain, "x");
                 if i % 3 == 0 {
-                    m.exec_clflush(t, a);
+                    m.exec_clflush(t, a, "f");
                 }
                 if i % 7 == 0 {
-                    m.exec_sfence(t);
+                    m.exec_sfence(t, "sf");
                 }
                 m.drain_sb(&mut sink, t);
             }
             let mut r = rng();
             m.crash(PersistencePolicy::Random, &mut r);
             let t2 = m.register_thread(None);
-            let out = m.exec_load(t2, Addr(0x1000), 16, Atomicity::Plain);
+            let out = m.exec_load(t2, Addr(0x1000), 16, Atomicity::Plain, "r");
             (m.fingerprint(), out.bytes, out.chosen, out.candidates)
         };
         assert_eq!(run(false), run(true), "GC must be observably invisible");
@@ -1869,7 +1957,7 @@ mod tests {
         let a = Addr(0x1000);
         for i in 0..1000u64 {
             m.exec_store(&mut sink, t, a, &i.to_le_bytes(), Atomicity::Plain, "x");
-            m.exec_clflush(t, a);
+            m.exec_clflush(t, a, "f");
             m.drain_sb(&mut sink, t);
         }
         let gc = m.gc_stats();
@@ -1884,7 +1972,7 @@ mod tests {
             "slots recycle behind the id indirection"
         );
         // The stream is still readable and correct.
-        let out = m.exec_load(t, a, 8, Atomicity::Plain);
+        let out = m.exec_load(t, a, 8, Atomicity::Plain, "r");
         assert_eq!(u64::from_le_bytes(out.bytes.try_into().unwrap()), 999);
     }
 

@@ -316,6 +316,7 @@ pub struct RunReport {
     post_crash_panics: Vec<String>,
     elapsed: Duration,
     stats: ExecStats,
+    coverage: obs::CoverageReport,
     fork: ForkStats,
     prune: PruneStats,
     gc: GcStats,
@@ -334,6 +335,7 @@ impl RunReport {
         post_crash_panics: Vec<String>,
         elapsed: Duration,
         stats: ExecStats,
+        coverage: obs::CoverageReport,
         fork: ForkStats,
         prune: PruneStats,
         gc: GcStats,
@@ -347,6 +349,7 @@ impl RunReport {
             post_crash_panics,
             elapsed,
             stats,
+            coverage,
             fork,
             prune,
             gc,
@@ -399,6 +402,19 @@ impl RunReport {
     /// cache / image, candidate stores scanned).
     pub fn stats(&self) -> &ExecStats {
         &self.stats
+    }
+
+    /// The coverage plane: per-site counters/verdicts and the crash-space
+    /// cartography accumulated over the whole run. Part of the logical
+    /// report surface — byte-identical across worker counts and fork/prune/
+    /// GC strategy choices (see `obs::coverage`).
+    pub fn coverage(&self) -> &obs::CoverageReport {
+        &self.coverage
+    }
+
+    /// The coverage plane rendered as its stable-field-order JSON document.
+    pub fn coverage_json(&self) -> obs::Json {
+        obs::coverage_json(&self.coverage)
     }
 
     /// Reports dropped by `(kind, label)` de-duplication during the merge.
@@ -576,6 +592,7 @@ mod tests {
             vec![],
             Duration::from_millis(1),
             ExecStats::default(),
+            obs::CoverageReport::default(),
             ForkStats::default(),
             PruneStats::default(),
             GcStats::default(),

@@ -199,13 +199,15 @@ pub(crate) struct Snapshot {
 /// count, and the phase. Two consecutive points with equal fingerprints
 /// produce byte-identical post-crash results, so the engine resumes only
 /// one of them. `stats` is the operation-counter prefix at the point,
-/// needed to attribute a representative's suffix work to skipped members.
-#[derive(Debug, Clone, Copy)]
+/// needed to attribute a representative's suffix work to skipped members;
+/// `cov` is the coverage-plane prefix snapshot, attributed the same way.
+#[derive(Debug, Clone)]
 pub(crate) struct PointRecord {
     pub phase: usize,
     pub point: usize,
     pub fingerprint: u64,
     pub stats: ExecStats,
+    pub cov: obs::SiteTable,
 }
 
 /// Snapshot collection plugged into the profiling run's [`Core`].
@@ -218,6 +220,11 @@ pub(crate) struct SnapshotLog {
     /// Snapshots are taken only in phases `0..capture_phases` (the phases
     /// crash targets are injected into).
     pub capture_phases: usize,
+    /// When `false`, the log runs in records-only mode: every point still
+    /// gets a [`PointRecord`] (the coverage plane's crash-space cartography
+    /// is derived from the record stream, whatever the resume strategy),
+    /// but no [`Snapshot`] is captured — fork/prune are off.
+    pub capture_snaps: bool,
     /// Current phase index, maintained by the engine's phase prologue.
     pub phase: usize,
     pub snaps: Vec<Snapshot>,
@@ -244,9 +251,16 @@ pub(crate) struct SnapshotLog {
 }
 
 impl SnapshotLog {
-    pub fn new(capture_phases: usize, prune: bool, paranoid: bool, sample: usize) -> Self {
+    pub fn new(
+        capture_phases: usize,
+        capture_snaps: bool,
+        prune: bool,
+        paranoid: bool,
+        sample: usize,
+    ) -> Self {
         SnapshotLog {
             capture_phases,
+            capture_snaps,
             phase: 0,
             snaps: Vec::new(),
             records: Vec::new(),
@@ -450,9 +464,15 @@ impl Shared {
             point: crash.seen,
             fingerprint: fp,
             stats: mem.stats,
+            cov: mem.cov.clone(),
         });
         let fresh = log.last != Some((log.phase, fp));
         log.last = Some((log.phase, fp));
+        if !log.capture_snaps {
+            // Records-only mode: cartography wants the point stream, but no
+            // resume strategy will consume snapshots.
+            return;
+        }
         if log.prune && !log.paranoid && !fresh {
             // Same class as the previous point: its representative snapshot
             // is already captured. Skipping `mem.fork()` here is the

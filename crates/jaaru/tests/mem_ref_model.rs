@@ -139,7 +139,7 @@ fn run_differential(ops: &[Op]) -> Result<(), String> {
                 } else {
                     Atomicity::Plain
                 };
-                let a = opt.exec_load(t, base() + off, len, atomicity);
+                let a = opt.exec_load(t, base() + off, len, atomicity, "r");
                 let b = oracle.exec_load(t, base() + off, len, atomicity);
                 if a.bytes != b.bytes {
                     return Err(format!("step {step}: bytes {:?} != {:?}", a.bytes, b.bytes));
@@ -158,19 +158,19 @@ fn run_differential(ops: &[Op]) -> Result<(), String> {
                 }
             }
             Op::Clflush { off } => {
-                opt.exec_clflush(t, base() + off);
+                opt.exec_clflush(t, base() + off, "f");
                 oracle.exec_clflush(t, base() + off);
             }
             Op::Clwb { off } => {
-                opt.exec_clwb(t, base() + off);
+                opt.exec_clwb(t, base() + off, "f");
                 oracle.exec_clwb(t, base() + off);
             }
             Op::Sfence => {
-                opt.exec_sfence(t);
+                opt.exec_sfence(t, "sf");
                 oracle.exec_sfence(t);
             }
             Op::Mfence => {
-                opt.exec_mfence(&mut sink, t);
+                opt.exec_mfence(&mut sink, t, "mf");
                 oracle.exec_mfence(t);
             }
             Op::Cas {

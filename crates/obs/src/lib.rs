@@ -22,6 +22,10 @@
 //!   utilization, and throughput time series for humans and dashboards.
 //!   Explicitly nondeterministic and write-only; it never feeds back into
 //!   the virtual-clock plane above (see the module docs for the contract).
+//! * [`coverage`] — the **third plane**: per-site persistency verdicts
+//!   (stores/flushes/fences/loads keyed by static label) and crash-space
+//!   cartography, measured on the virtual clock and exported byte-identical
+//!   across worker counts and fork/prune/GC strategy choices.
 //!
 //! `obs` depends on nothing above the standard library; `jaaru` layers the
 //! engine wiring ([`SpanTraceSink`](../jaaru/sink) and trace collection) on
@@ -39,12 +43,17 @@
 //!    `(lane, start, name)` and counters by name.
 
 pub mod chrome;
+pub mod coverage;
 pub mod json;
 pub mod metrics;
 pub mod span;
 pub mod telemetry;
 
 pub use chrome::{to_chrome_json, write_chrome_json};
+pub use coverage::{
+    coverage_json, Cartography, CoverageReport, CoverageSummary, PhaseChart, SiteId, SiteKind,
+    SiteStats, SiteTable, Verdict,
+};
 pub use json::Json;
 pub use metrics::{Histogram, MetricsRegistry};
 pub use span::{Phase, RunTrace, Span, SpanInstant, TraceBuf};

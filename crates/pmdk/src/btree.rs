@@ -35,7 +35,7 @@ impl BTree {
         let mut tx = Tx::begin(ctx, pool);
         let head = tx.alloc(ctx, NODE_BYTES);
         ctx.memset(head, 0, NODE_BYTES, "btree node init");
-        pmem_persist(ctx, head, NODE_BYTES);
+        pmem_persist(ctx, head, NODE_BYTES, "btree.create persist");
         tx.add_range(ctx, head, 8);
         tx.commit(ctx);
         pool.set_root_obj(ctx, head);
@@ -55,12 +55,19 @@ impl BTree {
         // Update in place if the key exists anywhere in the chain.
         let mut node = self.head;
         for _hop in 0..8 {
-            let count = ctx.load_u64(node + OFF_COUNT, Atomicity::Plain).min(NODE_KEYS);
+            let count = ctx
+                .load_u64(node + OFF_COUNT, Atomicity::Plain)
+                .min(NODE_KEYS);
             for i in 0..count {
                 if ctx.load_u64(node + OFF_KEYS + i * 8, Atomicity::Plain) == key {
                     let mut tx = Tx::begin(ctx, &self.pool);
                     tx.add_range(ctx, node + OFF_VALUES + i * 8, 8);
-                    ctx.store_u64(node + OFF_VALUES + i * 8, value, Atomicity::Plain, "btree.node.value");
+                    ctx.store_u64(
+                        node + OFF_VALUES + i * 8,
+                        value,
+                        Atomicity::Plain,
+                        "btree.node.value",
+                    );
                     tx.commit(ctx);
                     return true;
                 }
@@ -73,7 +80,9 @@ impl BTree {
         }
         let mut node = self.head;
         for _hop in 0..8 {
-            let count = ctx.load_u64(node + OFF_COUNT, Atomicity::Plain).min(NODE_KEYS);
+            let count = ctx
+                .load_u64(node + OFF_COUNT, Atomicity::Plain)
+                .min(NODE_KEYS);
             if count < NODE_KEYS {
                 let mut tx = Tx::begin(ctx, &self.pool);
                 // Snapshot the regions the shift will modify.
@@ -92,13 +101,38 @@ impl BTree {
                 while i > pos {
                     let k = ctx.load_u64(node + OFF_KEYS + (i - 1) * 8, Atomicity::Plain);
                     let v = ctx.load_u64(node + OFF_VALUES + (i - 1) * 8, Atomicity::Plain);
-                    ctx.store_u64(node + OFF_KEYS + i * 8, k, Atomicity::Plain, "btree.node.key");
-                    ctx.store_u64(node + OFF_VALUES + i * 8, v, Atomicity::Plain, "btree.node.value");
+                    ctx.store_u64(
+                        node + OFF_KEYS + i * 8,
+                        k,
+                        Atomicity::Plain,
+                        "btree.node.key",
+                    );
+                    ctx.store_u64(
+                        node + OFF_VALUES + i * 8,
+                        v,
+                        Atomicity::Plain,
+                        "btree.node.value",
+                    );
                     i -= 1;
                 }
-                ctx.store_u64(node + OFF_KEYS + pos * 8, key, Atomicity::Plain, "btree.node.key");
-                ctx.store_u64(node + OFF_VALUES + pos * 8, value, Atomicity::Plain, "btree.node.value");
-                ctx.store_u64(node + OFF_COUNT, count + 1, Atomicity::Plain, "btree.node.count");
+                ctx.store_u64(
+                    node + OFF_KEYS + pos * 8,
+                    key,
+                    Atomicity::Plain,
+                    "btree.node.key",
+                );
+                ctx.store_u64(
+                    node + OFF_VALUES + pos * 8,
+                    value,
+                    Atomicity::Plain,
+                    "btree.node.value",
+                );
+                ctx.store_u64(
+                    node + OFF_COUNT,
+                    count + 1,
+                    Atomicity::Plain,
+                    "btree.node.count",
+                );
                 tx.commit(ctx);
                 return true;
             }
@@ -108,9 +142,14 @@ impl BTree {
                 let mut tx = Tx::begin(ctx, &self.pool);
                 let fresh = tx.alloc(ctx, NODE_BYTES);
                 ctx.memset(fresh, 0, NODE_BYTES, "btree node init");
-                pmem_persist(ctx, fresh, NODE_BYTES);
+                pmem_persist(ctx, fresh, NODE_BYTES, "btree.grow persist");
                 tx.add_range(ctx, node + OFF_NEXT, 8);
-                ctx.store_u64(node + OFF_NEXT, fresh.raw(), Atomicity::Plain, "btree.node.next");
+                ctx.store_u64(
+                    node + OFF_NEXT,
+                    fresh.raw(),
+                    Atomicity::Plain,
+                    "btree.node.next",
+                );
                 tx.commit(ctx);
                 node = fresh;
             } else {
@@ -124,7 +163,9 @@ impl BTree {
     pub fn get(&self, ctx: &mut Ctx, key: u64) -> Option<u64> {
         let mut node = self.head;
         for _hop in 0..8 {
-            let count = ctx.load_u64(node + OFF_COUNT, Atomicity::Plain).min(NODE_KEYS);
+            let count = ctx
+                .load_u64(node + OFF_COUNT, Atomicity::Plain)
+                .min(NODE_KEYS);
             for i in 0..count {
                 let k = ctx.load_u64(node + OFF_KEYS + i * 8, Atomicity::Plain);
                 if k == key {
@@ -224,6 +265,10 @@ mod tests {
     #[test]
     fn detector_finds_only_the_ulog_race() {
         let report = yashme::model_check(&program());
-        assert_eq!(report.race_labels(), vec![crate::ULOG_RACE_LABEL], "{report}");
+        assert_eq!(
+            report.race_labels(),
+            vec![crate::ULOG_RACE_LABEL],
+            "{report}"
+        );
     }
 }

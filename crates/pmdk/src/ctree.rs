@@ -47,12 +47,22 @@ impl CTree {
 
     fn new_leaf(&self, ctx: &mut Ctx, tx: &mut Tx, key: u64, value: u64) -> Addr {
         let leaf = tx.alloc(ctx, NODE_BYTES);
-        ctx.store_u64(leaf + OFF_IS_LEAF, 1, Atomicity::Plain, "ctree.node.is_leaf");
+        ctx.store_u64(
+            leaf + OFF_IS_LEAF,
+            1,
+            Atomicity::Plain,
+            "ctree.node.is_leaf",
+        );
         ctx.store_u64(leaf + OFF_KEY, key, Atomicity::Plain, "ctree.node.key");
-        ctx.store_u64(leaf + OFF_VALUE, value, Atomicity::Plain, "ctree.node.value");
+        ctx.store_u64(
+            leaf + OFF_VALUE,
+            value,
+            Atomicity::Plain,
+            "ctree.node.value",
+        );
         ctx.store_u64(leaf + OFF_LEFT, 0, Atomicity::Plain, "ctree.node.left");
         ctx.store_u64(leaf + OFF_RIGHT, 0, Atomicity::Plain, "ctree.node.right");
-        pmem_persist(ctx, leaf, NODE_BYTES);
+        pmem_persist(ctx, leaf, NODE_BYTES, "ctree.leaf persist");
         leaf
     }
 
@@ -76,7 +86,11 @@ impl CTree {
                 break;
             }
             let bit = ctx.load_u64(node + OFF_KEY, Atomicity::Plain).min(63);
-            let side = if key & (1 << bit) != 0 { OFF_RIGHT } else { OFF_LEFT };
+            let side = if key & (1 << bit) != 0 {
+                OFF_RIGHT
+            } else {
+                OFF_LEFT
+            };
             let child = ctx.load_u64(node + side, Atomicity::Plain);
             match valid(child) {
                 Some(c) => {
@@ -90,7 +104,12 @@ impl CTree {
         if existing == key {
             // Update in place.
             tx.add_range(ctx, node + OFF_VALUE, 8);
-            ctx.store_u64(node + OFF_VALUE, value, Atomicity::Plain, "ctree.node.value");
+            ctx.store_u64(
+                node + OFF_VALUE,
+                value,
+                Atomicity::Plain,
+                "ctree.node.value",
+            );
             tx.commit(ctx);
             return true;
         }
@@ -98,21 +117,46 @@ impl CTree {
         let diff = 63 - (existing ^ key).leading_zeros() as u64;
         let leaf = self.new_leaf(ctx, &mut tx, key, value);
         let internal = tx.alloc(ctx, NODE_BYTES);
-        ctx.store_u64(internal + OFF_IS_LEAF, 0, Atomicity::Plain, "ctree.node.is_leaf");
+        ctx.store_u64(
+            internal + OFF_IS_LEAF,
+            0,
+            Atomicity::Plain,
+            "ctree.node.is_leaf",
+        );
         ctx.store_u64(internal + OFF_KEY, diff, Atomicity::Plain, "ctree.node.key");
-        ctx.store_u64(internal + OFF_VALUE, 0, Atomicity::Plain, "ctree.node.value");
+        ctx.store_u64(
+            internal + OFF_VALUE,
+            0,
+            Atomicity::Plain,
+            "ctree.node.value",
+        );
         let (new_side, old_side) = if key & (1 << diff) != 0 {
             (OFF_RIGHT, OFF_LEFT)
         } else {
             (OFF_LEFT, OFF_RIGHT)
         };
-        ctx.store_u64(internal + new_side, leaf.raw(), Atomicity::Plain, "ctree.node.child");
-        ctx.store_u64(internal + old_side, node.raw(), Atomicity::Plain, "ctree.node.child");
-        pmem_persist(ctx, internal, NODE_BYTES);
+        ctx.store_u64(
+            internal + new_side,
+            leaf.raw(),
+            Atomicity::Plain,
+            "ctree.node.child",
+        );
+        ctx.store_u64(
+            internal + old_side,
+            node.raw(),
+            Atomicity::Plain,
+            "ctree.node.child",
+        );
+        pmem_persist(ctx, internal, NODE_BYTES, "ctree.internal persist");
         match parent {
             Some((p, side)) => {
                 tx.add_range(ctx, p + side, 8);
-                ctx.store_u64(p + side, internal.raw(), Atomicity::Plain, "ctree.node.child");
+                ctx.store_u64(
+                    p + side,
+                    internal.raw(),
+                    Atomicity::Plain,
+                    "ctree.node.child",
+                );
                 tx.commit(ctx);
             }
             None => {
@@ -136,7 +180,11 @@ impl CTree {
                 };
             }
             let bit = ctx.load_u64(node + OFF_KEY, Atomicity::Plain).min(63);
-            let side = if key & (1 << bit) != 0 { OFF_RIGHT } else { OFF_LEFT };
+            let side = if key & (1 << bit) != 0 {
+                OFF_RIGHT
+            } else {
+                OFF_LEFT
+            };
             node = valid(ctx.load_u64(node + side, Atomicity::Plain))?;
         }
         None
@@ -220,6 +268,10 @@ mod tests {
     #[test]
     fn detector_finds_only_the_ulog_race() {
         let report = yashme::model_check(&program());
-        assert_eq!(report.race_labels(), vec![crate::ULOG_RACE_LABEL], "{report}");
+        assert_eq!(
+            report.race_labels(),
+            vec![crate::ULOG_RACE_LABEL],
+            "{report}"
+        );
     }
 }

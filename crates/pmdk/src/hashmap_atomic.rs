@@ -46,12 +46,22 @@ impl HashmapAtomic {
     pub fn create(ctx: &mut Ctx, pool: &Pool) -> HashmapAtomic {
         let buckets = pool.alloc_obj(ctx, NUM_BUCKETS * 8);
         for b in 0..NUM_BUCKETS {
-            ctx.store_u64(buckets + b * 8, 0, Atomicity::ReleaseAcquire, "hashmap_atomic.bucket");
+            ctx.store_u64(
+                buckets + b * 8,
+                0,
+                Atomicity::ReleaseAcquire,
+                "hashmap_atomic.bucket",
+            );
         }
-        pmem_persist(ctx, buckets, NUM_BUCKETS * 8);
+        pmem_persist(
+            ctx,
+            buckets,
+            NUM_BUCKETS * 8,
+            "hashmap_atomic.buckets persist",
+        );
         let count = ctx.root_slot(SLOT_COUNT);
         ctx.store_u64(count, 0, Atomicity::ReleaseAcquire, "hashmap_atomic.count");
-        pmem_persist(ctx, count, 8);
+        pmem_persist(ctx, count, 8, "hashmap_atomic.count persist");
         pool.set_root_obj(ctx, buckets);
         HashmapAtomic {
             pool: *pool,
@@ -74,16 +84,41 @@ impl HashmapAtomic {
         let slot = self.buckets + bucket_of(key) * 8;
         let head = ctx.load_acquire_u64(slot);
         let entry = self.pool.alloc_obj(ctx, ENTRY_BYTES);
-        ctx.store_u64(entry + OFF_KEY, key, Atomicity::Plain, "hashmap_atomic.entry.key");
-        ctx.store_u64(entry + OFF_VALUE, value, Atomicity::Plain, "hashmap_atomic.entry.value");
-        ctx.store_u64(entry + OFF_NEXT, head, Atomicity::Plain, "hashmap_atomic.entry.next");
-        pmem_persist(ctx, entry, ENTRY_BYTES);
-        ctx.store_u64(slot, entry.raw(), Atomicity::ReleaseAcquire, "hashmap_atomic.bucket");
-        pmem_persist(ctx, slot, 8);
+        ctx.store_u64(
+            entry + OFF_KEY,
+            key,
+            Atomicity::Plain,
+            "hashmap_atomic.entry.key",
+        );
+        ctx.store_u64(
+            entry + OFF_VALUE,
+            value,
+            Atomicity::Plain,
+            "hashmap_atomic.entry.value",
+        );
+        ctx.store_u64(
+            entry + OFF_NEXT,
+            head,
+            Atomicity::Plain,
+            "hashmap_atomic.entry.next",
+        );
+        pmem_persist(ctx, entry, ENTRY_BYTES, "hashmap_atomic.entry persist");
+        ctx.store_u64(
+            slot,
+            entry.raw(),
+            Atomicity::ReleaseAcquire,
+            "hashmap_atomic.bucket",
+        );
+        pmem_persist(ctx, slot, 8, "hashmap_atomic.bucket persist");
         let count = ctx.root_slot(SLOT_COUNT);
         let c = ctx.load_acquire_u64(count);
-        ctx.store_u64(count, c + 1, Atomicity::ReleaseAcquire, "hashmap_atomic.count");
-        pmem_persist(ctx, count, 8);
+        ctx.store_u64(
+            count,
+            c + 1,
+            Atomicity::ReleaseAcquire,
+            "hashmap_atomic.count",
+        );
+        pmem_persist(ctx, count, 8, "hashmap_atomic.count persist");
         true
     }
 
@@ -165,6 +200,10 @@ mod tests {
         // hashmap_atomic never opens a transaction, yet the journaled
         // allocator still exposes the ulog race.
         let report = yashme::model_check(&program());
-        assert_eq!(report.race_labels(), vec![crate::ULOG_RACE_LABEL], "{report}");
+        assert_eq!(
+            report.race_labels(),
+            vec![crate::ULOG_RACE_LABEL],
+            "{report}"
+        );
     }
 }

@@ -43,7 +43,7 @@ impl HashmapTx {
         let mut tx = Tx::begin(ctx, pool);
         let buckets = tx.alloc(ctx, NUM_BUCKETS * 8);
         ctx.memset(buckets, 0, NUM_BUCKETS * 8, "hashmap_tx buckets init");
-        pmem_persist(ctx, buckets, NUM_BUCKETS * 8);
+        pmem_persist(ctx, buckets, NUM_BUCKETS * 8, "hashmap_tx.buckets persist");
         tx.commit(ctx);
         pool.set_root_obj(ctx, buckets);
         HashmapTx {
@@ -68,10 +68,25 @@ impl HashmapTx {
         let head = ctx.load_u64(slot, Atomicity::Plain);
         let mut tx = Tx::begin(ctx, &self.pool);
         let entry = tx.alloc(ctx, ENTRY_BYTES);
-        ctx.store_u64(entry + OFF_KEY, key, Atomicity::Plain, "hashmap_tx.entry.key");
-        ctx.store_u64(entry + OFF_VALUE, value, Atomicity::Plain, "hashmap_tx.entry.value");
-        ctx.store_u64(entry + OFF_NEXT, head, Atomicity::Plain, "hashmap_tx.entry.next");
-        pmem_persist(ctx, entry, ENTRY_BYTES);
+        ctx.store_u64(
+            entry + OFF_KEY,
+            key,
+            Atomicity::Plain,
+            "hashmap_tx.entry.key",
+        );
+        ctx.store_u64(
+            entry + OFF_VALUE,
+            value,
+            Atomicity::Plain,
+            "hashmap_tx.entry.value",
+        );
+        ctx.store_u64(
+            entry + OFF_NEXT,
+            head,
+            Atomicity::Plain,
+            "hashmap_tx.entry.next",
+        );
+        pmem_persist(ctx, entry, ENTRY_BYTES, "hashmap_tx.entry persist");
         tx.add_range(ctx, slot, 8);
         ctx.store_u64(slot, entry.raw(), Atomicity::Plain, "hashmap_tx.bucket");
         tx.commit(ctx);
@@ -227,6 +242,10 @@ mod tests {
     #[test]
     fn detector_finds_only_the_ulog_race() {
         let report = yashme::model_check(&program());
-        assert_eq!(report.race_labels(), vec![crate::ULOG_RACE_LABEL], "{report}");
+        assert_eq!(
+            report.race_labels(),
+            vec![crate::ULOG_RACE_LABEL],
+            "{report}"
+        );
     }
 }

@@ -44,7 +44,9 @@ pub struct PmdkBenchmark {
 
 impl std::fmt::Debug for PmdkBenchmark {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("PmdkBenchmark").field("name", &self.name).finish()
+        f.debug_struct("PmdkBenchmark")
+            .field("name", &self.name)
+            .finish()
     }
 }
 

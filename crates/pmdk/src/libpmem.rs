@@ -4,26 +4,27 @@
 //! APIs to flush cache lines"); the pool, ulog, and transaction layers are
 //! built on them as well.
 
-use jaaru::Ctx;
+use jaaru::{Ctx, Label};
 use pmem::Addr;
 
-/// `pmem_flush`: issues a `clwb` for every cache line of the range. The
-/// write-back is not guaranteed until a subsequent [`pmem_drain`].
-pub fn pmem_flush(ctx: &mut Ctx, addr: Addr, len: u64) {
+/// `pmem_flush`: issues a `clwb` for every cache line of the range,
+/// attributed to the caller's `label` site. The write-back is not
+/// guaranteed until a subsequent [`pmem_drain`].
+pub fn pmem_flush(ctx: &mut Ctx, addr: Addr, len: u64, label: Label) {
     for line in addr.lines_in_range(len) {
-        ctx.clwb(line.base());
+        ctx.clwb_labeled(line.base(), label);
     }
 }
 
 /// `pmem_drain`: an `sfence`, completing prior `clwb`s.
-pub fn pmem_drain(ctx: &mut Ctx) {
-    ctx.sfence();
+pub fn pmem_drain(ctx: &mut Ctx, label: Label) {
+    ctx.sfence_labeled(label);
 }
 
-/// `pmem_persist`: flush + drain.
-pub fn pmem_persist(ctx: &mut Ctx, addr: Addr, len: u64) {
-    pmem_flush(ctx, addr, len);
-    pmem_drain(ctx);
+/// `pmem_persist`: flush + drain, both attributed to `label`.
+pub fn pmem_persist(ctx: &mut Ctx, addr: Addr, len: u64, label: Label) {
+    pmem_flush(ctx, addr, len, label);
+    pmem_drain(ctx, label);
 }
 
 #[cfg(test)]
@@ -41,7 +42,7 @@ mod tests {
             .pre_crash(|ctx: &mut Ctx| {
                 let a = ctx.root();
                 ctx.store_u64(a, 9, Atomicity::Plain, "x");
-                pmem_persist(ctx, a, 8);
+                pmem_persist(ctx, a, 8, "x persist (libpmem)");
             })
             .post_crash(move |ctx: &mut Ctx| {
                 let a = ctx.root();
@@ -66,7 +67,7 @@ mod tests {
             .pre_crash(|ctx: &mut Ctx| {
                 let a = ctx.root();
                 ctx.store_u64(a, 9, Atomicity::Plain, "x");
-                pmem_flush(ctx, a, 8); // no drain
+                pmem_flush(ctx, a, 8, "x flush (libpmem)"); // no drain
             })
             .post_crash(move |ctx: &mut Ctx| {
                 let a = ctx.root();
@@ -93,7 +94,7 @@ mod tests {
                 for i in 0..16 {
                     ctx.store_u64(a + i * 8, i + 1, Atomicity::Plain, "arr");
                 }
-                pmem_persist(ctx, a, 16 * 8);
+                pmem_persist(ctx, a, 16 * 8, "arr persist (libpmem)");
             })
             .post_crash(move |ctx: &mut Ctx| {
                 let a = ctx.root();

@@ -37,7 +37,7 @@ impl PmemLog {
     pub fn create(ctx: &mut Ctx) -> PmemLog {
         let base = Addr::BASE + LOG_REGION_OFFSET;
         ctx.store_u64(base, 0, Atomicity::Plain, PLOG_RACE_LABEL);
-        pmem_persist(ctx, base, 8);
+        pmem_persist(ctx, base, 8, "plog.offset persist");
         PmemLog { base }
     }
 
@@ -65,21 +65,21 @@ impl PmemLog {
         }
         let dst = self.base + OFF_PAYLOAD + offset;
         ctx.memcpy(dst, data, "plog.payload");
-        pmem_persist(ctx, dst, data.len() as u64);
+        pmem_persist(ctx, dst, data.len() as u64, "plog.payload persist");
         ctx.store_u64(
             self.base,
             offset + data.len() as u64,
             Atomicity::Plain,
             PLOG_RACE_LABEL,
         );
-        pmem_persist(ctx, self.base, 8);
+        pmem_persist(ctx, self.base, 8, "plog.offset persist");
         true
     }
 
     /// `pmemlog_rewind`: truncates the log to empty.
     pub fn rewind(&self, ctx: &mut Ctx) {
         ctx.store_u64(self.base, 0, Atomicity::Plain, PLOG_RACE_LABEL);
-        pmem_persist(ctx, self.base, 8);
+        pmem_persist(ctx, self.base, 8, "plog.offset persist");
     }
 
     /// `pmemlog_walk`: reads back every appended byte (the race-observing
@@ -176,15 +176,9 @@ mod tests {
     #[test]
     fn detector_flags_the_write_offset() {
         let report = yashme::model_check(&program());
-        assert!(
-            report.race_labels().contains(&PLOG_RACE_LABEL),
-            "{report}"
-        );
+        assert!(report.race_labels().contains(&PLOG_RACE_LABEL), "{report}");
         // The payload itself is covered by the offset publish (its persist
         // happens-before the offset store the walker reads first).
-        assert!(
-            !report.race_labels().contains(&"plog.payload"),
-            "{report}"
-        );
+        assert!(!report.race_labels().contains(&"plog.payload"), "{report}");
     }
 }

@@ -32,9 +32,7 @@ pub struct Pool {
 }
 
 fn header_checksum(magic: u64, version: u64, ulog_ptr: u64) -> u64 {
-    magic.rotate_left(17)
-        ^ version.wrapping_mul(0x9E37_79B9_7F4A_7C15)
-        ^ ulog_ptr.rotate_left(33)
+    magic.rotate_left(17) ^ version.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ ulog_ptr.rotate_left(33)
 }
 
 impl Pool {
@@ -47,14 +45,19 @@ impl Pool {
         let ulog_slot = ctx.root_slot(SLOT_ULOG);
         ctx.store_u64(magic, POOL_MAGIC, Atomicity::Plain, "pool_hdr.signature");
         ctx.store_u64(version, POOL_VERSION, Atomicity::Plain, "pool_hdr.major");
-        ctx.store_u64(ulog_slot, ulog.base().raw(), Atomicity::Plain, "pool_hdr.ulog_ptr");
+        ctx.store_u64(
+            ulog_slot,
+            ulog.base().raw(),
+            Atomicity::Plain,
+            "pool_hdr.ulog_ptr",
+        );
         ctx.store_u64(
             checksum,
             header_checksum(POOL_MAGIC, POOL_VERSION, ulog.base().raw()),
             Atomicity::Plain,
             "pool_hdr.checksum",
         );
-        pmem_persist(ctx, magic, 32);
+        pmem_persist(ctx, magic, 32, "pool_hdr persist");
         Pool { ulog }
     }
 
@@ -92,7 +95,7 @@ impl Pool {
         let slot = Self::root_obj_slot(ctx);
         self.ulog.add_range(ctx, slot, 8);
         ctx.store_u64(slot, obj.raw(), Atomicity::Plain, "pool.root_obj");
-        pmem_persist(ctx, slot, 8);
+        pmem_persist(ctx, slot, 8, "pool.root_obj persist");
         self.ulog.reset(ctx);
     }
 
@@ -117,7 +120,7 @@ impl Pool {
         self.ulog.add_range(ctx, cursor, 8);
         let obj = ctx.alloc_line_aligned(size.max(8));
         ctx.store_u64(cursor, obj.raw(), Atomicity::Plain, "heap.cursor");
-        pmem_persist(ctx, cursor, 8);
+        pmem_persist(ctx, cursor, 8, "heap.cursor persist");
         self.ulog.reset(ctx);
         obj
     }
@@ -139,7 +142,7 @@ mod tests {
                 let pool = Pool::create(ctx);
                 let obj = pool.alloc_obj(ctx, 64);
                 ctx.store_u64(obj, 5, Atomicity::Plain, "obj");
-                pmem_persist(ctx, obj, 8);
+                pmem_persist(ctx, obj, 8, "obj persist");
                 pool.set_root_obj(ctx, obj);
             })
             .post_crash(move |ctx: &mut Ctx| {
@@ -164,11 +167,12 @@ mod tests {
     fn open_unformatted_pool_fails() {
         let ok = Arc::new(AtomicU64::new(9));
         let o = ok.clone();
-        let program = Program::new("t")
-            .pre_crash(|_ctx: &mut Ctx| {})
-            .post_crash(move |ctx: &mut Ctx| {
-                o.store(Pool::open(ctx).is_some() as u64, Ordering::SeqCst);
-            });
+        let program =
+            Program::new("t")
+                .pre_crash(|_ctx: &mut Ctx| {})
+                .post_crash(move |ctx: &mut Ctx| {
+                    o.store(Pool::open(ctx).is_some() as u64, Ordering::SeqCst);
+                });
         Engine::run_plain(&program, 1);
         assert_eq!(ok.load(Ordering::SeqCst), 0);
     }

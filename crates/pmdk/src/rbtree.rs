@@ -77,7 +77,7 @@ impl RbTree {
         let mut tx = Tx::begin(ctx, pool);
         let hdr = tx.alloc(ctx, HDR_BYTES);
         ctx.store_u64(hdr + HDR_ROOT, 0, Atomicity::Plain, "rbtree.root");
-        pmem_persist(ctx, hdr, HDR_BYTES);
+        pmem_persist(ctx, hdr, HDR_BYTES, "rbtree.hdr persist");
         tx.commit(ctx);
         pool.set_root_obj(ctx, hdr);
         RbTree { pool: *pool, hdr }
@@ -123,7 +123,11 @@ impl RbTree {
     }
 
     fn rotate(&self, ctx: &mut Ctx, tx: &mut RbTx, x: Addr, left: bool) {
-        let (side_a, side_b) = if left { (OFF_RIGHT, OFF_LEFT) } else { (OFF_LEFT, OFF_RIGHT) };
+        let (side_a, side_b) = if left {
+            (OFF_RIGHT, OFF_LEFT)
+        } else {
+            (OFF_LEFT, OFF_RIGHT)
+        };
         let y = valid(self.field(ctx, x, side_a)).expect("rotation child exists");
         let beta = self.field(ctx, y, side_b);
         self.set_field(ctx, tx, x, side_a, beta, "rbtree.node.child");
@@ -172,9 +176,14 @@ impl RbTree {
         ctx.store_u64(z + OFF_VALUE, value, Atomicity::Plain, "rbtree.node.value");
         ctx.store_u64(z + OFF_LEFT, 0, Atomicity::Plain, "rbtree.node.child");
         ctx.store_u64(z + OFF_RIGHT, 0, Atomicity::Plain, "rbtree.node.child");
-        ctx.store_u64(z + OFF_PARENT, parent.map_or(0, Addr::raw), Atomicity::Plain, "rbtree.node.parent");
+        ctx.store_u64(
+            z + OFF_PARENT,
+            parent.map_or(0, Addr::raw),
+            Atomicity::Plain,
+            "rbtree.node.parent",
+        );
         ctx.store_u64(z + OFF_COLOR, RED, Atomicity::Plain, "rbtree.node.color");
-        pmem_persist(ctx, z, NODE_BYTES);
+        pmem_persist(ctx, z, NODE_BYTES, "rbtree.node persist");
         match parent {
             None => self.set_root(ctx, &mut tx, z.raw()),
             Some(p) => {
@@ -352,7 +361,10 @@ mod tests {
             s.store(acc, Ordering::SeqCst);
         });
         Engine::run_plain(&program, 2);
-        assert_eq!(sum.load(Ordering::SeqCst), (1..=7).map(|i| i * 4).sum::<u64>());
+        assert_eq!(
+            sum.load(Ordering::SeqCst),
+            (1..=7).map(|i| i * 4).sum::<u64>()
+        );
     }
 
     #[test]
@@ -387,6 +399,10 @@ mod tests {
     #[test]
     fn detector_finds_only_the_ulog_race() {
         let report = yashme::model_check(&program());
-        assert_eq!(report.race_labels(), vec![crate::ULOG_RACE_LABEL], "{report}");
+        assert_eq!(
+            report.race_labels(),
+            vec![crate::ULOG_RACE_LABEL],
+            "{report}"
+        );
     }
 }

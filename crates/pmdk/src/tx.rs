@@ -65,7 +65,7 @@ impl Tx {
     /// Commits: persists every modified range, then discards the journal.
     pub fn commit(mut self, ctx: &mut Ctx) {
         for &(addr, len) in &self.ranges {
-            pmem_persist(ctx, addr, len);
+            pmem_persist(ctx, addr, len, "tx.commit persist");
         }
         self.pool.ulog().reset(ctx);
         self.committed = true;
@@ -125,12 +125,12 @@ mod tests {
                 let pool = Pool::create(ctx);
                 let obj = pool.alloc_obj(ctx, 8);
                 ctx.store_u64(obj, 7, Atomicity::Plain, "obj");
-                pmem_persist(ctx, obj, 8);
+                pmem_persist(ctx, obj, 8, "obj persist");
                 pool.set_root_obj(ctx, obj);
                 let mut tx = Tx::begin(ctx, &pool);
                 tx.add_range(ctx, obj, 8);
                 ctx.store_u64(obj, 1000, Atomicity::Plain, "obj");
-                pmem_persist(ctx, obj, 8);
+                pmem_persist(ctx, obj, 8, "obj persist");
                 // never committed
             })
             .post_crash(move |ctx: &mut Ctx| {

@@ -51,7 +51,7 @@ impl Ulog {
         // zero-initialization is the same racy store site as its updates.
         ctx.store_u64(base, 0, Atomicity::Plain, ULOG_RACE_LABEL);
         ctx.memset(base + 64, 0, bytes - 64, "ulog init memset");
-        pmem_persist(ctx, base, bytes);
+        pmem_persist(ctx, base, bytes, "ulog.area persist");
         Ulog { base }
     }
 
@@ -60,7 +60,7 @@ impl Ulog {
     pub fn create(ctx: &mut Ctx, slot: Addr) -> Ulog {
         let log = Self::create_area(ctx);
         ctx.store_u64(slot, log.base.raw(), Atomicity::Plain, "pool.ulog_ptr");
-        pmem_persist(ctx, slot, 8);
+        pmem_persist(ctx, slot, 8, "pool.ulog_ptr persist");
         log
     }
 
@@ -109,21 +109,36 @@ impl Ulog {
         assert!(used < CAPACITY, "ulog full");
         let entry = self.entry_addr(used);
         let old = ctx.load_bytes(addr, len, Atomicity::Plain);
-        ctx.store_u64(entry + OFF_DST, addr.raw(), Atomicity::Plain, "ulog.entry_dst");
+        ctx.store_u64(
+            entry + OFF_DST,
+            addr.raw(),
+            Atomicity::Plain,
+            "ulog.entry_dst",
+        );
         ctx.store_u64(entry + OFF_LEN, len, Atomicity::Plain, "ulog.entry_len");
         ctx.store_bytes(entry + OFF_DATA, &old, Atomicity::Plain, "ulog.entry_data");
         let sum = entry_checksum(addr.raw(), len, &old);
-        ctx.store_u64(entry + OFF_CHECKSUM, sum, Atomicity::Plain, "ulog.entry_checksum");
-        pmem_persist(ctx, entry, ENTRY_STRIDE);
+        ctx.store_u64(
+            entry + OFF_CHECKSUM,
+            sum,
+            Atomicity::Plain,
+            "ulog.entry_checksum",
+        );
+        pmem_persist(ctx, entry, ENTRY_STRIDE, "ulog.entry persist");
         // The racy non-atomic store: the unused-entry pointer.
-        ctx.store_u64(self.used_addr(), used + 1, Atomicity::Plain, ULOG_RACE_LABEL);
-        pmem_persist(ctx, self.used_addr(), 8);
+        ctx.store_u64(
+            self.used_addr(),
+            used + 1,
+            Atomicity::Plain,
+            ULOG_RACE_LABEL,
+        );
+        pmem_persist(ctx, self.used_addr(), 8, "ulog.used persist");
     }
 
     /// Discards the journal after a successful commit.
     pub fn reset(&self, ctx: &mut Ctx) {
         ctx.store_u64(self.used_addr(), 0, Atomicity::Plain, ULOG_RACE_LABEL);
-        pmem_persist(ctx, self.used_addr(), 8);
+        pmem_persist(ctx, self.used_addr(), 8, "ulog.used persist");
     }
 
     /// Post-crash recovery: read `used` (the race-observing load), validate
@@ -139,7 +154,9 @@ impl Ulog {
             // discarded, so races here are benign (§7.5).
             ctx.set_checksum_scope(true);
             let dst = ctx.load_u64(entry + OFF_DST, Atomicity::Plain);
-            let len = ctx.load_u64(entry + OFF_LEN, Atomicity::Plain).min(MAX_RANGE);
+            let len = ctx
+                .load_u64(entry + OFF_LEN, Atomicity::Plain)
+                .min(MAX_RANGE);
             let sum = ctx.load_u64(entry + OFF_CHECKSUM, Atomicity::Plain);
             let data = ctx.load_bytes(entry + OFF_DATA, len, Atomicity::Plain);
             ctx.set_checksum_scope(false);
@@ -147,7 +164,7 @@ impl Ulog {
                 continue; // torn or unwritten entry: validation rejects it
             }
             ctx.store_bytes(Addr(dst), &data, Atomicity::Plain, "ulog.rollback");
-            pmem_persist(ctx, Addr(dst), len);
+            pmem_persist(ctx, Addr(dst), len, "ulog.rollback persist");
             rolled_back += 1;
         }
         self.reset(ctx);
@@ -179,12 +196,12 @@ mod tests {
             .pre_crash(|ctx: &mut Ctx| {
                 let x = ctx.root();
                 ctx.store_u64(x, 10, Atomicity::Plain, "x");
-                pmem_persist(ctx, x, 8);
+                pmem_persist(ctx, x, 8, "x persist");
                 let log = Ulog::create(ctx, ctx.root_slot(ULOG_SLOT));
                 // Begin a transaction-like update that never commits.
                 log.add_range(ctx, x, 8);
                 ctx.store_u64(x, 99, Atomicity::Plain, "x");
-                pmem_persist(ctx, x, 8);
+                pmem_persist(ctx, x, 8, "x persist");
                 // crash before reset()
             })
             .post_crash(move |ctx: &mut Ctx| {
@@ -213,11 +230,11 @@ mod tests {
             .pre_crash(|ctx: &mut Ctx| {
                 let x = ctx.root();
                 ctx.store_u64(x, 10, Atomicity::Plain, "x");
-                pmem_persist(ctx, x, 8);
+                pmem_persist(ctx, x, 8, "x persist");
                 let log = Ulog::create(ctx, ctx.root_slot(ULOG_SLOT));
                 log.add_range(ctx, x, 8);
                 ctx.store_u64(x, 99, Atomicity::Plain, "x");
-                pmem_persist(ctx, x, 8);
+                pmem_persist(ctx, x, 8, "x persist");
                 log.reset(ctx); // commit
             })
             .post_crash(move |ctx: &mut Ctx| {
@@ -248,7 +265,7 @@ mod tests {
                 let log = Ulog::create(ctx, ctx.root_slot(ULOG_SLOT));
                 log.add_range(ctx, x, 8);
                 ctx.store_u64(x, 99, Atomicity::Plain, "x");
-                pmem_persist(ctx, x, 8);
+                pmem_persist(ctx, x, 8, "x persist");
                 log.reset(ctx);
             })
             .post_crash(|ctx: &mut Ctx| {

@@ -175,19 +175,57 @@ mod tests {
     const TABLE1: [[OrderConstraint; 7]; 7] = [
         // later:      Re          Wr          RMW        mf         sf         clfopt       clf
         /* Read   */
-        [Preserved, Preserved, Preserved, Preserved, Preserved, Preserved, Preserved],
+        [
+            Preserved, Preserved, Preserved, Preserved, Preserved, Preserved, Preserved,
+        ],
         /* Write  */
-        [Reorderable, Preserved, Preserved, Preserved, Preserved, SameLine, Preserved],
+        [
+            Reorderable,
+            Preserved,
+            Preserved,
+            Preserved,
+            Preserved,
+            SameLine,
+            Preserved,
+        ],
         /* RMW    */
-        [Preserved, Preserved, Preserved, Preserved, Preserved, Preserved, Preserved],
+        [
+            Preserved, Preserved, Preserved, Preserved, Preserved, Preserved, Preserved,
+        ],
         /* mfence */
-        [Preserved, Preserved, Preserved, Preserved, Preserved, Preserved, Preserved],
+        [
+            Preserved, Preserved, Preserved, Preserved, Preserved, Preserved, Preserved,
+        ],
         /* sfence */
-        [Reorderable, Preserved, Preserved, Preserved, Preserved, Preserved, Preserved],
+        [
+            Reorderable,
+            Preserved,
+            Preserved,
+            Preserved,
+            Preserved,
+            Preserved,
+            Preserved,
+        ],
         /* clfopt */
-        [Reorderable, Reorderable, Preserved, Preserved, Preserved, Reorderable, SameLine],
+        [
+            Reorderable,
+            Reorderable,
+            Preserved,
+            Preserved,
+            Preserved,
+            Reorderable,
+            SameLine,
+        ],
         /* clflush*/
-        [Reorderable, Preserved, Preserved, Preserved, Preserved, SameLine, Preserved],
+        [
+            Reorderable,
+            Preserved,
+            Preserved,
+            Preserved,
+            Preserved,
+            SameLine,
+            Preserved,
+        ],
     ];
 
     #[test]

@@ -57,19 +57,24 @@ impl Cceh {
             let seg = ctx.alloc_line_aligned(SEGMENT_SLOTS * 16);
             // Segment::Segment() zero-initializes its pairs.
             ctx.memset(seg, 0, SEGMENT_SLOTS * 16, "Segment::ctor memset");
-            flush_range(ctx, seg, SEGMENT_SLOTS * 16);
-            ctx.store_u64(dir + s * 8, seg.raw(), Atomicity::Plain, "Directory.segment");
+            flush_range(ctx, seg, SEGMENT_SLOTS * 16, "Segment::ctor flush (CCEH.h)");
+            ctx.store_u64(
+                dir + s * 8,
+                seg.raw(),
+                Atomicity::Plain,
+                "Directory.segment",
+            );
         }
-        flush_range(ctx, dir, NUM_SEGMENTS * 8);
-        ctx.sfence();
+        flush_range(ctx, dir, NUM_SEGMENTS * 8, "Directory::ctor flush (CCEH.h)");
+        ctx.sfence_labeled("Directory::ctor fence (CCEH.h)");
         ctx.store_u64(
             ctx.root_slot(DIR_SLOT),
             dir.raw(),
             Atomicity::Plain,
             "CCEH.dir_",
         );
-        ctx.clflush(ctx.root_slot(DIR_SLOT));
-        ctx.sfence();
+        ctx.clflush_labeled(ctx.root_slot(DIR_SLOT), "CCEH.dir_ flush (CCEH.h)");
+        ctx.sfence_labeled("CCEH.dir_ fence (CCEH.h)");
         Cceh { dir }
     }
 
@@ -98,15 +103,14 @@ impl Cceh {
                 None => return false,
             };
             let (_, locked) = ctx.cas_u64(pair, EMPTY, SENTINEL, "Pair.key (pair.h)");
-            let locked =
-                locked || ctx.cas_u64(pair, DELETED, SENTINEL, "Pair.key (pair.h)").1;
+            let locked = locked || ctx.cas_u64(pair, DELETED, SENTINEL, "Pair.key (pair.h)").1;
             if locked {
                 ctx.store_u64(pair + 8, value, Atomicity::Plain, "Pair.value (pair.h)");
-                ctx.mfence();
+                ctx.mfence_labeled("Segment::Insert mfence (CCEH.h)");
                 ctx.store_u64(pair, key, Atomicity::Plain, "Pair.key (pair.h)");
                 // The caller flushes both stores to persistent memory.
-                ctx.clflush(pair);
-                ctx.sfence();
+                ctx.clflush_labeled(pair, "Segment::Insert flush (CCEH.h)");
+                ctx.sfence_labeled("Segment::Insert fence (CCEH.h)");
                 return true;
             }
         }
@@ -124,8 +128,8 @@ impl Cceh {
             let k = ctx.load_u64(pair, Atomicity::Plain);
             if k == key {
                 ctx.store_u64(pair, DELETED, Atomicity::Plain, "Pair.key (pair.h)");
-                ctx.clflush(pair);
-                ctx.sfence();
+                ctx.clflush_labeled(pair, "CCEH::Delete flush (CCEH.h)");
+                ctx.sfence_labeled("CCEH::Delete fence (CCEH.h)");
                 return true;
             }
             if k == EMPTY {

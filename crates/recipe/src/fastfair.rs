@@ -53,8 +53,8 @@ impl FastFair {
         let root_slot = ctx.root_slot(ROOT_SLOT);
         let leaf = Self::alloc_node(ctx);
         ctx.store_u64(root_slot, leaf.raw(), Atomicity::Plain, L_ROOT);
-        ctx.clflush(root_slot);
-        ctx.sfence();
+        ctx.clflush_labeled(root_slot, "btree.root flush (btree.h)");
+        ctx.sfence_labeled("btree.root fence (btree.h)");
         FastFair { root_slot }
     }
 
@@ -69,8 +69,8 @@ impl FastFair {
         let node = ctx.alloc_line_aligned(NODE_BYTES);
         // The page constructor zero-initializes header and entries.
         ctx.memset(node, 0, NODE_BYTES, "page::ctor memset");
-        flush_range(ctx, node, NODE_BYTES);
-        ctx.sfence();
+        flush_range(ctx, node, NODE_BYTES, "page::ctor flush (btree.h)");
+        ctx.sfence_labeled("page::ctor fence (btree.h)");
         node
     }
 
@@ -117,7 +117,12 @@ impl FastFair {
         // path stores it non-atomically.
         let sc = ctx.load_u32(node + OFF_SWITCH_COUNTER, Atomicity::Plain);
         if sc % 2 == 1 {
-            ctx.store_u32(node + OFF_SWITCH_COUNTER, sc + 1, Atomicity::Plain, L_SWITCH_COUNTER);
+            ctx.store_u32(
+                node + OFF_SWITCH_COUNTER,
+                sc + 1,
+                Atomicity::Plain,
+                L_SWITCH_COUNTER,
+            );
         }
         // Find the insertion position (entries sorted ascending).
         let mut pos = cnt;
@@ -140,11 +145,21 @@ impl FastFair {
             ctx.store_u64(dst, k, Atomicity::Plain, L_ENTRY_KEY);
             i -= 1;
         }
-        ctx.store_u64(entry_addr(node, pos) + 8, value, Atomicity::Plain, L_ENTRY_PTR);
+        ctx.store_u64(
+            entry_addr(node, pos) + 8,
+            value,
+            Atomicity::Plain,
+            L_ENTRY_PTR,
+        );
         ctx.store_u64(entry_addr(node, pos), key, Atomicity::Plain, L_ENTRY_KEY);
-        ctx.store_u32(node + OFF_LAST_INDEX, (cnt + 1) as u32, Atomicity::Plain, L_LAST_INDEX);
-        flush_range(ctx, node, NODE_BYTES);
-        ctx.sfence();
+        ctx.store_u32(
+            node + OFF_LAST_INDEX,
+            (cnt + 1) as u32,
+            Atomicity::Plain,
+            L_LAST_INDEX,
+        );
+        flush_range(ctx, node, NODE_BYTES, "insert_key flush (btree.h)");
+        ctx.sfence_labeled("insert_key fence (btree.h)");
     }
 
     /// Splits a full leaf: copy the upper half to a sibling (a `memcpy`, as
@@ -165,30 +180,65 @@ impl FastFair {
             Atomicity::Plain,
             L_LAST_INDEX,
         );
-        flush_range(ctx, sibling, NODE_BYTES);
-        ctx.sfence();
+        flush_range(
+            ctx,
+            sibling,
+            NODE_BYTES,
+            "page::split sibling flush (btree.h)",
+        );
+        ctx.sfence_labeled("page::split sibling fence (btree.h)");
         // Link the sibling and shrink this node.
-        ctx.store_u64(node + OFF_SIBLING, sibling.raw(), Atomicity::Plain, L_SIBLING);
-        ctx.store_u32(node + OFF_LAST_INDEX, m as u32, Atomicity::Plain, L_LAST_INDEX);
+        ctx.store_u64(
+            node + OFF_SIBLING,
+            sibling.raw(),
+            Atomicity::Plain,
+            L_SIBLING,
+        );
+        ctx.store_u32(
+            node + OFF_LAST_INDEX,
+            m as u32,
+            Atomicity::Plain,
+            L_LAST_INDEX,
+        );
         let sc = ctx.load_u32(node + OFF_SWITCH_COUNTER, Atomicity::Plain);
-        ctx.store_u32(node + OFF_SWITCH_COUNTER, sc + 2, Atomicity::Plain, L_SWITCH_COUNTER);
-        flush_range(ctx, node, 64);
-        ctx.sfence();
+        ctx.store_u32(
+            node + OFF_SWITCH_COUNTER,
+            sc + 2,
+            Atomicity::Plain,
+            L_SWITCH_COUNTER,
+        );
+        flush_range(ctx, node, 64, "page::split header flush (btree.h)");
+        ctx.sfence_labeled("page::split header fence (btree.h)");
         let split_key = ctx.load_u64(entry_addr(sibling, 0), Atomicity::Plain);
         (split_key, sibling)
     }
 
     fn grow_root(&self, ctx: &mut Ctx, left: Addr, split_key: u64, right: Addr) {
         let new_root = Self::alloc_node(ctx);
-        ctx.store_u64(new_root + OFF_LEFTMOST, left.raw(), Atomicity::Plain, L_ENTRY_PTR);
-        ctx.store_u64(entry_addr(new_root, 0), split_key, Atomicity::Plain, L_ENTRY_KEY);
-        ctx.store_u64(entry_addr(new_root, 0) + 8, right.raw(), Atomicity::Plain, L_ENTRY_PTR);
+        ctx.store_u64(
+            new_root + OFF_LEFTMOST,
+            left.raw(),
+            Atomicity::Plain,
+            L_ENTRY_PTR,
+        );
+        ctx.store_u64(
+            entry_addr(new_root, 0),
+            split_key,
+            Atomicity::Plain,
+            L_ENTRY_KEY,
+        );
+        ctx.store_u64(
+            entry_addr(new_root, 0) + 8,
+            right.raw(),
+            Atomicity::Plain,
+            L_ENTRY_PTR,
+        );
         ctx.store_u32(new_root + OFF_LAST_INDEX, 1, Atomicity::Plain, L_LAST_INDEX);
-        flush_range(ctx, new_root, NODE_BYTES);
-        ctx.sfence();
+        flush_range(ctx, new_root, NODE_BYTES, "grow_root flush (btree.h)");
+        ctx.sfence_labeled("grow_root fence (btree.h)");
         ctx.store_u64(self.root_slot, new_root.raw(), Atomicity::Plain, L_ROOT);
-        ctx.clflush(self.root_slot);
-        ctx.sfence();
+        ctx.clflush_labeled(self.root_slot, "btree.root flush (btree.h)");
+        ctx.sfence_labeled("btree.root fence (btree.h)");
     }
 
     /// Inserts a key/value pair.
@@ -223,7 +273,12 @@ impl FastFair {
         let cnt = Self::count(ctx, leaf);
         let sc = ctx.load_u32(leaf + OFF_SWITCH_COUNTER, Atomicity::Plain);
         if sc.is_multiple_of(2) {
-            ctx.store_u32(leaf + OFF_SWITCH_COUNTER, sc + 1, Atomicity::Plain, L_SWITCH_COUNTER);
+            ctx.store_u32(
+                leaf + OFF_SWITCH_COUNTER,
+                sc + 1,
+                Atomicity::Plain,
+                L_SWITCH_COUNTER,
+            );
         }
         for i in 0..cnt {
             let k = ctx.load_u64(entry_addr(leaf, i), Atomicity::Plain);
@@ -234,9 +289,14 @@ impl FastFair {
                     ctx.store_u64(entry_addr(leaf, j), nk, Atomicity::Plain, L_ENTRY_KEY);
                     ctx.store_u64(entry_addr(leaf, j) + 8, np, Atomicity::Plain, L_ENTRY_PTR);
                 }
-                ctx.store_u32(leaf + OFF_LAST_INDEX, (cnt - 1) as u32, Atomicity::Plain, L_LAST_INDEX);
-                flush_range(ctx, leaf, NODE_BYTES);
-                ctx.sfence();
+                ctx.store_u32(
+                    leaf + OFF_LAST_INDEX,
+                    (cnt - 1) as u32,
+                    Atomicity::Plain,
+                    L_LAST_INDEX,
+                );
+                flush_range(ctx, leaf, NODE_BYTES, "remove_key flush (btree.h)");
+                ctx.sfence_labeled("remove_key fence (btree.h)");
                 return true;
             }
         }
@@ -403,7 +463,11 @@ mod tests {
             s.store(t.recovery_scan(ctx), Ordering::SeqCst);
         });
         Engine::run_plain(&program, 5);
-        assert_eq!(scanned.load(Ordering::SeqCst), 10, "all entries reachable via leaf chain");
+        assert_eq!(
+            scanned.load(Ordering::SeqCst),
+            10,
+            "all entries reachable via leaf chain"
+        );
     }
 
     #[test]
@@ -458,7 +522,8 @@ mod tests {
         let p = source_profile();
         assert_eq!(p.source_counts().total(), 1);
         assert_eq!(
-            p.asm_counts(&compiler_model::CompilerConfig::clang_o3_x86()).total(),
+            p.asm_counts(&compiler_model::CompilerConfig::clang_o3_x86())
+                .total(),
             4
         );
     }

@@ -72,16 +72,29 @@ impl Part {
     /// Creates an empty tree with an N4 root and a deletion list.
     pub fn create(ctx: &mut Ctx) -> Part {
         let node = Self::alloc_node(ctx, TYPE_N4);
-        ctx.store_u64(ctx.root_slot(ROOT_SLOT), node.raw(), Atomicity::ReleaseAcquire, "ART.root");
-        ctx.clflush(ctx.root_slot(ROOT_SLOT));
-        ctx.sfence();
+        ctx.store_u64(
+            ctx.root_slot(ROOT_SLOT),
+            node.raw(),
+            Atomicity::ReleaseAcquire,
+            "ART.root",
+        );
+        ctx.clflush_labeled(ctx.root_slot(ROOT_SLOT), "ART.root flush (Tree.h)");
+        ctx.sfence_labeled("ART.root fence (Tree.h)");
         let dl = ctx.alloc_line_aligned(DL_BYTES);
         ctx.memset(dl, 0, DL_BYTES, "DeletionList::ctor memset");
-        flush_range(ctx, dl, DL_BYTES);
-        ctx.sfence();
-        ctx.store_u64(ctx.root_slot(DL_SLOT), dl.raw(), Atomicity::Plain, "Epoche.deletionList");
-        ctx.clflush(ctx.root_slot(DL_SLOT));
-        ctx.sfence();
+        flush_range(ctx, dl, DL_BYTES, "DeletionList::ctor flush (Epoche.h)");
+        ctx.sfence_labeled("DeletionList::ctor fence (Epoche.h)");
+        ctx.store_u64(
+            ctx.root_slot(DL_SLOT),
+            dl.raw(),
+            Atomicity::Plain,
+            "Epoche.deletionList",
+        );
+        ctx.clflush_labeled(
+            ctx.root_slot(DL_SLOT),
+            "Epoche.deletionList flush (Epoche.h)",
+        );
+        ctx.sfence_labeled("Epoche.deletionList fence (Epoche.h)");
         Part { dl }
     }
 
@@ -95,10 +108,10 @@ impl Part {
         let node = ctx.alloc_line_aligned(NODE_BYTES);
         // N4::N4() / N16::N16() zero their key and child arrays.
         ctx.memset(node, 0, NODE_BYTES, "N::ctor memset");
-        flush_range(ctx, node, NODE_BYTES);
+        flush_range(ctx, node, NODE_BYTES, "N::ctor flush (N.h)");
         ctx.store_u8(node + OFF_TYPE, node_type, Atomicity::Relaxed, "N.type");
-        ctx.clflush(node);
-        ctx.sfence();
+        ctx.clflush_labeled(node, "N.type flush (N.h)");
+        ctx.sfence_labeled("N.type fence (N.h)");
         node
     }
 
@@ -135,8 +148,8 @@ impl Part {
         let leaf = ctx.alloc(16, 8);
         ctx.store_u64(leaf, key, Atomicity::Plain, "ART.leaf.key");
         ctx.store_u64(leaf + 8, value, Atomicity::Plain, "ART.leaf.value");
-        flush_range(ctx, leaf, 16);
-        ctx.sfence();
+        flush_range(ctx, leaf, 16, "ART.leaf flush (Tree.h)");
+        ctx.sfence_labeled("ART.leaf fence (Tree.h)");
         // Publish: key byte, atomic child pointer, then the plain counters.
         ctx.store_u8(node + OFF_KEYS + cc, byte, Atomicity::Relaxed, "N.keys");
         ctx.store_u64(
@@ -145,11 +158,16 @@ impl Part {
             Atomicity::ReleaseAcquire,
             "N.children",
         );
-        ctx.store_u16(node + OFF_COMPACT_COUNT, (cc + 1) as u16, Atomicity::Plain, L_COMPACT_COUNT);
+        ctx.store_u16(
+            node + OFF_COMPACT_COUNT,
+            (cc + 1) as u16,
+            Atomicity::Plain,
+            L_COMPACT_COUNT,
+        );
         let count = ctx.load_u16(node + OFF_COUNT, Atomicity::Plain);
         ctx.store_u16(node + OFF_COUNT, count + 1, Atomicity::Plain, L_COUNT);
-        flush_range(ctx, node, NODE_BYTES);
-        ctx.sfence();
+        flush_range(ctx, node, NODE_BYTES, "N::insert flush (N.h)");
+        ctx.sfence_labeled("N::insert fence (N.h)");
         true
     }
 
@@ -161,15 +179,30 @@ impl Part {
             let k = ctx.load_u8(old + OFF_KEYS + i, Atomicity::Relaxed);
             let c = ctx.load_acquire_u64(old + OFF_CHILDREN + i * 8);
             ctx.store_u8(new + OFF_KEYS + i, k, Atomicity::Relaxed, "N.keys");
-            ctx.store_u64(new + OFF_CHILDREN + i * 8, c, Atomicity::ReleaseAcquire, "N.children");
+            ctx.store_u64(
+                new + OFF_CHILDREN + i * 8,
+                c,
+                Atomicity::ReleaseAcquire,
+                "N.children",
+            );
         }
-        ctx.store_u16(new + OFF_COMPACT_COUNT, cc as u16, Atomicity::Plain, L_COMPACT_COUNT);
+        ctx.store_u16(
+            new + OFF_COMPACT_COUNT,
+            cc as u16,
+            Atomicity::Plain,
+            L_COMPACT_COUNT,
+        );
         ctx.store_u16(new + OFF_COUNT, cc as u16, Atomicity::Plain, L_COUNT);
-        flush_range(ctx, new, NODE_BYTES);
-        ctx.sfence();
-        ctx.store_u64(ctx.root_slot(ROOT_SLOT), new.raw(), Atomicity::ReleaseAcquire, "ART.root");
-        ctx.clflush(ctx.root_slot(ROOT_SLOT));
-        ctx.sfence();
+        flush_range(ctx, new, NODE_BYTES, "N::grow flush (N.h)");
+        ctx.sfence_labeled("N::grow fence (N.h)");
+        ctx.store_u64(
+            ctx.root_slot(ROOT_SLOT),
+            new.raw(),
+            Atomicity::ReleaseAcquire,
+            "ART.root",
+        );
+        ctx.clflush_labeled(ctx.root_slot(ROOT_SLOT), "ART.root flush (Tree.h)");
+        ctx.sfence_labeled("ART.root fence (Tree.h)");
         // The old node goes to the deletion list (epoch reclamation).
         self.mark_deleted(ctx, old);
         new
@@ -178,7 +211,12 @@ impl Part {
     /// `Epoche::markNodeForDeletion`: plain-store bookkeeping in PM.
     fn mark_deleted(&self, ctx: &mut Ctx, node: Addr) {
         let ld = ctx.alloc_line_aligned(LD_BYTES);
-        ctx.store_u64(ld + LD_NODES, node.raw(), Atomicity::Plain, "LabelDelete.nodes");
+        ctx.store_u64(
+            ld + LD_NODES,
+            node.raw(),
+            Atomicity::Plain,
+            "LabelDelete.nodes",
+        );
         ctx.store_u64(ld + LD_NODES_COUNT, 1, Atomicity::Plain, L_LD_NODES_COUNT);
         // The `next` link is part of the headDeletionList chain.
         let head = ctx.load_u64(self.dl + DL_HEAD, Atomicity::Plain);
@@ -189,7 +227,12 @@ impl Part {
         let a = ctx.load_u64(self.dl + DL_ADDED, Atomicity::Plain);
         ctx.store_u64(self.dl + DL_ADDED, a + 1, Atomicity::Plain, L_DL_ADDED);
         let t = ctx.load_u64(self.dl + DL_THRESHOLD, Atomicity::Plain);
-        ctx.store_u64(self.dl + DL_THRESHOLD, t + 1, Atomicity::Plain, L_DL_THRESHOLD);
+        ctx.store_u64(
+            self.dl + DL_THRESHOLD,
+            t + 1,
+            Atomicity::Plain,
+            L_DL_THRESHOLD,
+        );
         // The reclamation code never flushes these (the known-inconsistent
         // allocator of §7.4).
     }
@@ -206,11 +249,21 @@ impl Part {
             let k = ctx.load_u8(node + OFF_KEYS + i, Atomicity::Relaxed);
             if k == byte {
                 let child = ctx.load_acquire_u64(node + OFF_CHILDREN + i * 8);
-                ctx.store_u64(node + OFF_CHILDREN + i * 8, 0, Atomicity::ReleaseAcquire, "N.children");
+                ctx.store_u64(
+                    node + OFF_CHILDREN + i * 8,
+                    0,
+                    Atomicity::ReleaseAcquire,
+                    "N.children",
+                );
                 let count = ctx.load_u16(node + OFF_COUNT, Atomicity::Plain);
-                ctx.store_u16(node + OFF_COUNT, count.saturating_sub(1), Atomicity::Plain, L_COUNT);
-                flush_range(ctx, node, NODE_BYTES);
-                ctx.sfence();
+                ctx.store_u16(
+                    node + OFF_COUNT,
+                    count.saturating_sub(1),
+                    Atomicity::Plain,
+                    L_COUNT,
+                );
+                flush_range(ctx, node, NODE_BYTES, "N::remove flush (N.h)");
+                ctx.sfence_labeled("N::remove fence (N.h)");
                 if let Some(leaf) = as_ptr(child) {
                     self.mark_deleted(ctx, leaf);
                 }
@@ -388,7 +441,8 @@ mod tests {
         let p = source_profile();
         assert_eq!(p.source_counts().total(), 17);
         assert_eq!(
-            p.asm_counts(&compiler_model::CompilerConfig::clang_o3_x86()).total(),
+            p.asm_counts(&compiler_model::CompilerConfig::clang_o3_x86())
+                .total(),
             8
         );
     }

@@ -39,16 +39,26 @@ impl PBwTree {
         for s in 0..MAPPING_SLOTS {
             let base = ctx.alloc_line_aligned(BASE_BYTES);
             ctx.memset(base, 0, BASE_BYTES, "BaseNode::ctor memset");
-            flush_range(ctx, base, BASE_BYTES);
-            ctx.sfence();
+            flush_range(ctx, base, BASE_BYTES, "BaseNode::ctor flush (bwtree.h)");
+            ctx.sfence_labeled("BaseNode::ctor fence (bwtree.h)");
             // Initial publication via CAS, like the runtime updates.
             ctx.cas_u64(mapping + s * 8, 0, base.raw(), "MappingTable.slot");
         }
-        flush_range(ctx, mapping, MAPPING_SLOTS * 8);
-        ctx.sfence();
-        ctx.store_u64(ctx.root_slot(MT_SLOT), mapping.raw(), Atomicity::Plain, "BwTree.mapping");
-        ctx.clflush(ctx.root_slot(MT_SLOT));
-        ctx.sfence();
+        flush_range(
+            ctx,
+            mapping,
+            MAPPING_SLOTS * 8,
+            "MappingTable::ctor flush (bwtree.h)",
+        );
+        ctx.sfence_labeled("MappingTable::ctor fence (bwtree.h)");
+        ctx.store_u64(
+            ctx.root_slot(MT_SLOT),
+            mapping.raw(),
+            Atomicity::Plain,
+            "BwTree.mapping",
+        );
+        ctx.clflush_labeled(ctx.root_slot(MT_SLOT), "BwTree.mapping flush (bwtree.h)");
+        ctx.sfence_labeled("BwTree.mapping fence (bwtree.h)");
         PBwTree { mapping }
     }
 
@@ -80,8 +90,8 @@ impl PBwTree {
         ctx.store_u64(delta, key, Atomicity::Plain, "DeltaInsert.key");
         ctx.store_u64(delta + 8, value, Atomicity::Plain, "DeltaInsert.value");
         ctx.store_u64(delta + 16, head, Atomicity::Plain, "DeltaInsert.next");
-        flush_range(ctx, delta, DELTA_BYTES);
-        ctx.sfence();
+        flush_range(ctx, delta, DELTA_BYTES, "DeltaInsert flush (bwtree.h)");
+        ctx.sfence_labeled("DeltaInsert fence (bwtree.h)");
         let (_, ok) = ctx.cas_u64(slot, head, delta.raw(), "MappingTable.slot");
         ok
     }
@@ -229,7 +239,8 @@ mod tests {
         let p = source_profile();
         assert_eq!(p.source_counts().total(), 6);
         assert_eq!(
-            p.asm_counts(&compiler_model::CompilerConfig::clang_o3_x86()).total(),
+            p.asm_counts(&compiler_model::CompilerConfig::clang_o3_x86())
+                .total(),
             15
         );
     }

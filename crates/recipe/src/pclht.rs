@@ -44,20 +44,38 @@ impl Pclht {
             let bucket = buckets + b * 64;
             ctx.store_u64(bucket + OFF_LOCK, 0, Atomicity::Relaxed, "bucket.lock");
             for e in 0..ENTRIES_PER_BUCKET {
-                ctx.store_u64(bucket + OFF_KEYS + e * 8, 0, Atomicity::Relaxed, "bucket.key");
-                ctx.store_u64(bucket + OFF_VALUES + e * 8, 0, Atomicity::Relaxed, "bucket.val");
+                ctx.store_u64(
+                    bucket + OFF_KEYS + e * 8,
+                    0,
+                    Atomicity::Relaxed,
+                    "bucket.key",
+                );
+                ctx.store_u64(
+                    bucket + OFF_VALUES + e * 8,
+                    0,
+                    Atomicity::Relaxed,
+                    "bucket.val",
+                );
             }
-            flush_range(ctx, bucket, BUCKET_BYTES);
+            flush_range(
+                ctx,
+                bucket,
+                BUCKET_BYTES,
+                "bucket::ctor flush (clht_lb_res.h)",
+            );
         }
-        ctx.sfence();
+        ctx.sfence_labeled("bucket::ctor fence (clht_lb_res.h)");
         ctx.store_u64(
             ctx.root_slot(TABLE_SLOT),
             buckets.raw(),
             Atomicity::ReleaseAcquire,
             "clht.table",
         );
-        ctx.clflush(ctx.root_slot(TABLE_SLOT));
-        ctx.sfence();
+        ctx.clflush_labeled(
+            ctx.root_slot(TABLE_SLOT),
+            "clht.table flush (clht_lb_res.h)",
+        );
+        ctx.sfence_labeled("clht.table fence (clht_lb_res.h)");
         Pclht { buckets }
     }
 
@@ -85,10 +103,20 @@ impl Pclht {
         for e in 0..ENTRIES_PER_BUCKET {
             let k = ctx.load_u64(bucket + OFF_KEYS + e * 8, Atomicity::Relaxed);
             if k == 0 || k == key {
-                ctx.store_u64(bucket + OFF_VALUES + e * 8, value, Atomicity::Relaxed, "bucket.val");
-                ctx.store_u64(bucket + OFF_KEYS + e * 8, key, Atomicity::ReleaseAcquire, "bucket.key");
-                flush_range(ctx, bucket, BUCKET_BYTES);
-                ctx.sfence();
+                ctx.store_u64(
+                    bucket + OFF_VALUES + e * 8,
+                    value,
+                    Atomicity::Relaxed,
+                    "bucket.val",
+                );
+                ctx.store_u64(
+                    bucket + OFF_KEYS + e * 8,
+                    key,
+                    Atomicity::ReleaseAcquire,
+                    "bucket.key",
+                );
+                flush_range(ctx, bucket, BUCKET_BYTES, "clht_put flush (clht_lb_res.h)");
+                ctx.sfence_labeled("clht_put fence (clht_lb_res.h)");
                 return true;
             }
         }
@@ -106,9 +134,19 @@ impl Pclht {
         for e in 0..ENTRIES_PER_BUCKET {
             let k = ctx.load_u64(bucket + OFF_KEYS + e * 8, Atomicity::Relaxed);
             if k == key {
-                ctx.store_u64(bucket + OFF_KEYS + e * 8, 0, Atomicity::ReleaseAcquire, "bucket.key");
-                flush_range(ctx, bucket, BUCKET_BYTES);
-                ctx.sfence();
+                ctx.store_u64(
+                    bucket + OFF_KEYS + e * 8,
+                    0,
+                    Atomicity::ReleaseAcquire,
+                    "bucket.key",
+                );
+                flush_range(
+                    ctx,
+                    bucket,
+                    BUCKET_BYTES,
+                    "clht_remove flush (clht_lb_res.h)",
+                );
+                ctx.sfence_labeled("clht_remove fence (clht_lb_res.h)");
                 return true;
             }
         }
@@ -232,7 +270,8 @@ mod tests {
         let p = source_profile();
         assert_eq!(p.source_counts().total(), 0);
         assert_eq!(
-            p.asm_counts(&compiler_model::CompilerConfig::clang_o3_x86()).total(),
+            p.asm_counts(&compiler_model::CompilerConfig::clang_o3_x86())
+                .total(),
             0
         );
     }

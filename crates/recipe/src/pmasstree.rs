@@ -60,8 +60,8 @@ impl PMasstree {
         let root_slot = ctx.root_slot(ROOT_SLOT);
         let leaf = Self::alloc_leaf(ctx);
         ctx.store_u64(root_slot, leaf.raw(), Atomicity::Plain, L_ROOT);
-        ctx.clflush(root_slot);
-        ctx.sfence();
+        ctx.clflush_labeled(root_slot, "masstree.root_ flush (masstree.h)");
+        ctx.sfence_labeled("masstree.root_ fence (masstree.h)");
         PMasstree { root_slot }
     }
 
@@ -75,8 +75,8 @@ impl PMasstree {
     fn alloc_leaf(ctx: &mut Ctx) -> Addr {
         let leaf = ctx.alloc_line_aligned(LEAF_BYTES);
         ctx.memset(leaf, 0, LEAF_BYTES, "leafnode::ctor memset");
-        flush_range(ctx, leaf, LEAF_BYTES);
-        ctx.sfence();
+        flush_range(ctx, leaf, LEAF_BYTES, "leafnode::ctor flush (masstree.h)");
+        ctx.sfence_labeled("leafnode::ctor fence (masstree.h)");
         leaf
     }
 
@@ -97,15 +97,43 @@ impl PMasstree {
             let count = perm_count(perm);
             if count < LEAF_WIDTH {
                 let slot = count; // next free physical slot
-                ctx.store_u64(leaf + OFF_KEYS + slot * 8, key, Atomicity::Plain, "leafnode.key");
-                ctx.store_u64(leaf + OFF_VALUES + slot * 8, value, Atomicity::Plain, "leafnode.value");
-                flush_range(ctx, leaf + OFF_KEYS + slot * 8, 8);
-                flush_range(ctx, leaf + OFF_VALUES + slot * 8, 8);
-                ctx.sfence();
+                ctx.store_u64(
+                    leaf + OFF_KEYS + slot * 8,
+                    key,
+                    Atomicity::Plain,
+                    "leafnode.key",
+                );
+                ctx.store_u64(
+                    leaf + OFF_VALUES + slot * 8,
+                    value,
+                    Atomicity::Plain,
+                    "leafnode.value",
+                );
+                flush_range(
+                    ctx,
+                    leaf + OFF_KEYS + slot * 8,
+                    8,
+                    "leafnode.entry flush (masstree.h)",
+                );
+                flush_range(
+                    ctx,
+                    leaf + OFF_VALUES + slot * 8,
+                    8,
+                    "leafnode.entry flush (masstree.h)",
+                );
+                ctx.sfence_labeled("leafnode.entry fence (masstree.h)");
                 let new_perm = perm_push(perm, slot);
-                ctx.store_u64(leaf + OFF_PERMUTATION, new_perm, Atomicity::Plain, L_PERMUTATION);
-                ctx.clflush(leaf + OFF_PERMUTATION);
-                ctx.sfence();
+                ctx.store_u64(
+                    leaf + OFF_PERMUTATION,
+                    new_perm,
+                    Atomicity::Plain,
+                    L_PERMUTATION,
+                );
+                ctx.clflush_labeled(
+                    leaf + OFF_PERMUTATION,
+                    "leafnode.permutation flush (masstree.h)",
+                );
+                ctx.sfence_labeled("leafnode.permutation fence (masstree.h)");
                 return true;
             }
             // Leaf full: follow or create the sibling.
@@ -115,12 +143,12 @@ impl PMasstree {
                 None => {
                     let sibling = Self::alloc_leaf(ctx);
                     ctx.store_u64(leaf + OFF_NEXT, sibling.raw(), Atomicity::Plain, L_NEXT);
-                    ctx.clflush(leaf + OFF_NEXT);
-                    ctx.sfence();
+                    ctx.clflush_labeled(leaf + OFF_NEXT, "leafnode.next flush (masstree.h)");
+                    ctx.sfence_labeled("leafnode.next fence (masstree.h)");
                     // Growing the tree updates root_ (a plain store).
                     ctx.store_u64(self.root_slot, leaf.raw(), Atomicity::Plain, L_ROOT);
-                    ctx.clflush(self.root_slot);
-                    ctx.sfence();
+                    ctx.clflush_labeled(self.root_slot, "masstree.root_ flush (masstree.h)");
+                    ctx.sfence_labeled("masstree.root_ fence (masstree.h)");
                     leaf = sibling;
                 }
             }
@@ -251,7 +279,8 @@ mod tests {
         let p = source_profile();
         assert_eq!(p.source_counts().total(), 3);
         assert_eq!(
-            p.asm_counts(&compiler_model::CompilerConfig::clang_o3_x86()).total(),
+            p.asm_counts(&compiler_model::CompilerConfig::clang_o3_x86())
+                .total(),
             14
         );
     }

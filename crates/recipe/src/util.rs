@@ -1,6 +1,6 @@
 //! Shared helpers for benchmark ports.
 
-use jaaru::Ctx;
+use jaaru::{Ctx, Label};
 use pmem::Addr;
 
 /// Root slot holding the pool-valid flag.
@@ -20,8 +20,8 @@ pub(crate) const POOL_MAGIC: u64 = 0x504d_504f_4f4c_0001; // "PMPOOL"
 pub(crate) fn seal_pool(ctx: &mut Ctx) {
     let flag = ctx.root_slot(POOL_FLAG_SLOT);
     ctx.store_release_u64(flag, POOL_MAGIC, "pool.valid_flag");
-    ctx.clflush(flag);
-    ctx.sfence();
+    ctx.clflush_labeled(flag, "pool.seal flush (util)");
+    ctx.sfence_labeled("pool.seal fence (util)");
 }
 
 /// Opens the pool post-crash; returns `false` if initialization never
@@ -42,10 +42,11 @@ pub(crate) fn as_ptr(raw: u64) -> Option<Addr> {
     }
 }
 
-/// Flushes every cache line of `[addr, addr+len)` with `clflush`.
-pub(crate) fn flush_range(ctx: &mut Ctx, addr: Addr, len: u64) {
+/// Flushes every cache line of `[addr, addr+len)` with `clflush`,
+/// attributing every flush to the caller's `label` site.
+pub(crate) fn flush_range(ctx: &mut Ctx, addr: Addr, len: u64, label: Label) {
     for line in addr.lines_in_range(len) {
-        ctx.clflush(line.base());
+        ctx.clflush_labeled(line.base(), label);
     }
 }
 

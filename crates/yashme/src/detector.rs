@@ -403,6 +403,7 @@ mod tests {
             kind: jaaru::FlushKind::Clflush,
             addr: Addr(addr),
             seq: Some(id),
+            label: "",
         }
     }
 

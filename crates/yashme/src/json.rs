@@ -105,6 +105,34 @@ pub fn suite_json(runs: Vec<Json>, total_races: usize) -> Json {
     ])
 }
 
+/// Renders one benchmark's coverage-plane document: `{"benchmark": ..,
+/// "coverage": <coverage plane>}`. The inner document is
+/// [`RunReport::coverage_json`], so it is byte-identical across worker
+/// counts and physical strategies.
+pub fn coverage_doc(benchmark: &str, report: &RunReport) -> Json {
+    Json::obj([
+        ("benchmark", Json::from(benchmark)),
+        ("coverage", report.coverage_json()),
+    ])
+}
+
+/// Renders the suite-level `--coverage-out` document: the aggregate
+/// coverage plane first (so first-occurrence field extraction, as the
+/// trend gate uses, reads suite totals), then the per-benchmark documents.
+/// `aggregate` is the site-table/raced-label union over the suite; its
+/// cartography is left empty because crash-space phases are per-program.
+pub fn coverage_suite_json(
+    suite: &str,
+    aggregate: &jaaru::CoverageReport,
+    benchmarks: Vec<Json>,
+) -> Json {
+    Json::obj([
+        ("suite", Json::from(suite)),
+        ("aggregate", jaaru::coverage_json(aggregate)),
+        ("benchmarks", Json::Arr(benchmarks)),
+    ])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

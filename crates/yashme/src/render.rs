@@ -4,7 +4,7 @@
 use std::fmt::Write as _;
 
 use jaaru::obs::{names, Phase};
-use jaaru::{RaceReport, ReportKind, RunReport};
+use jaaru::{RaceReport, ReportKind, RunReport, SiteKind};
 
 /// Renders Table 3 / Table 4 style rows: `# <tab> Benchmark <tab> Root
 /// Cause of Bug`, one row per de-duplicated true race, numbering
@@ -194,6 +194,74 @@ pub fn render_gc_stats(report: &RunReport) -> String {
         g.live_events, g.peak_live_events, g.slots_reused, g.flushmap_live, g.flushmap_peak,
     )
     .expect("write to string");
+    out
+}
+
+/// Renders the coverage plane (`yashme --coverage`): per-site verdicts
+/// with their counter breakdown, the attribution summary, and the
+/// crash-space cartography. Everything here comes from the logical report
+/// surface, so the table is byte-identical across worker counts and
+/// fork/prune/GC strategy choices.
+pub fn render_coverage(report: &RunReport) -> String {
+    let cov = report.coverage();
+    let summary = cov.summary();
+    let mut out = String::new();
+    writeln!(
+        out,
+        "coverage: {} site(s) — {} raced, {} clean, {} unexercised; \
+         {}/1000 of store/flush/fence ops attributed to named sites; \
+         {} persisted line(s) touched",
+        summary.sites,
+        summary.raced_sites,
+        summary.clean_sites,
+        summary.unexercised_sites,
+        summary.attributed_permille(),
+        summary.lines_touched,
+    )
+    .expect("write to string");
+    writeln!(
+        out,
+        "  {:<6} {:<32} {:<11} {:>9}  breakdown",
+        "kind", "label", "verdict", "executed",
+    )
+    .expect("write to string");
+    for (kind, label, s) in cov.sites.sorted() {
+        let shown = if label.is_empty() {
+            "(anonymous)"
+        } else {
+            label
+        };
+        let verdict = cov.verdict_for(label, &s);
+        let breakdown = match kind {
+            SiteKind::Store => format!("committed {}, persisted {}", s.committed, s.persisted),
+            SiteKind::Flush => format!(
+                "effective {}, redundant {}, uncommitted {}",
+                s.effective,
+                s.redundant,
+                s.executed - s.effective - s.redundant,
+            ),
+            SiteKind::Fence => format!("draining {}, empty {}", s.draining, s.empty),
+            SiteKind::Load => format!("observed pre-crash state {}", s.pre_crash),
+        };
+        writeln!(
+            out,
+            "  {:<6} {:<32} {:<11} {:>9}  {breakdown}",
+            kind.name(),
+            shown,
+            verdict.name(),
+            s.executed,
+        )
+        .expect("write to string");
+    }
+    for p in &cov.cartography.phases {
+        writeln!(
+            out,
+            "  crash-space phase {}: {} point(s) — {} distinct crash state(s) \
+             explored, {} prunable duplicate(s), {} sampled out",
+            p.phase, p.points, p.explored, p.prunable, p.sampled_out,
+        )
+        .expect("write to string");
+    }
     out
 }
 

@@ -27,7 +27,7 @@ fn main() {
             let pool = Pool::create(ctx);
             let obj = pool.alloc_obj(ctx, 8);
             ctx.store_u64(obj, 1, Atomicity::Plain, "account.balance");
-            pmem_persist(ctx, obj, 8);
+            pmem_persist(ctx, obj, 8, "account.balance persist");
             pool.set_root_obj(ctx, obj);
             let mut tx = Tx::begin(ctx, &pool);
             tx.add_range(ctx, obj, 8);
@@ -62,12 +62,12 @@ fn main() {
             let pool = Pool::create(ctx);
             let obj = pool.alloc_obj(ctx, 8);
             ctx.store_u64(obj, 1, Atomicity::Plain, "account.balance");
-            pmem_persist(ctx, obj, 8);
+            pmem_persist(ctx, obj, 8, "account.balance persist");
             pool.set_root_obj(ctx, obj);
             let mut tx = Tx::begin(ctx, &pool);
             tx.add_range(ctx, obj, 8);
             ctx.store_u64(obj, 100, Atomicity::Plain, "account.balance");
-            pmem_persist(ctx, obj, 8);
+            pmem_persist(ctx, obj, 8, "account.balance persist");
             // crash before tx.commit — the update must not survive
         })
         .post_crash(move |ctx: &mut Ctx| {

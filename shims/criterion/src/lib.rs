@@ -134,7 +134,8 @@ impl Criterion {
         name: impl Into<String>,
         body: impl FnMut(&mut Bencher),
     ) -> &mut Self {
-        self.benchmark_group("bench").bench_function(name.into(), body);
+        self.benchmark_group("bench")
+            .bench_function(name.into(), body);
         self
     }
 }

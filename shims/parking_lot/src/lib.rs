@@ -29,9 +29,7 @@ impl<T> Mutex<T> {
 
     /// Consumes the mutex and returns the inner value.
     pub fn into_inner(self) -> T {
-        self.0
-            .into_inner()
-            .unwrap_or_else(PoisonError::into_inner)
+        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
     }
 }
 

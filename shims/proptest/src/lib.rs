@@ -437,12 +437,12 @@ macro_rules! prop_assert_ne {
 pub mod prelude {
     //! The glob-import surface, mirroring `proptest::prelude`.
 
+    /// Namespace alias matching upstream's `prelude::prop`.
+    pub use crate as prop;
     pub use crate::{
         any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Any, Just,
         ProptestConfig, Strategy, TestCaseError,
     };
-    /// Namespace alias matching upstream's `prelude::prop`.
-    pub use crate as prop;
 }
 
 #[cfg(test)]

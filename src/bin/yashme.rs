@@ -36,6 +36,10 @@ struct Options {
     json: bool,
     trace_out: Option<String>,
     metrics_out: Option<String>,
+    // Coverage plane: per-site verdict table (human) and deterministic
+    // coverage JSON (byte-identical across workers × fork/prune/GC).
+    coverage: bool,
+    coverage_out: Option<String>,
     // Wall-clock telemetry plane (all stderr/side-file; stdout — including
     // `--json` — is byte-identical with these on or off).
     progress: bool,
@@ -68,6 +72,8 @@ impl Default for Options {
             json: false,
             trace_out: None,
             metrics_out: None,
+            coverage: false,
+            coverage_out: None,
             progress: false,
             telemetry_out: None,
             prom_out: None,
@@ -83,6 +89,7 @@ fn usage() -> &'static str {
      [--workers N|auto] [--no-fork] [--no-prune] [--no-gc] \
      [--gc-every N] [--gc-paranoid] [--sample-every N] [--baseline] [--eadr] \
      [--details] [--explain] [--json] [--trace-out FILE] [--metrics-out FILE] \
+     [--coverage] [--coverage-out FILE] \
      [--progress] [--telemetry-out FILE.jsonl] [--prom-out FILE] [--profile]"
 }
 
@@ -184,6 +191,14 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                         .clone(),
                 )
             }
+            "--coverage" => opts.coverage = true,
+            "--coverage-out" => {
+                opts.coverage_out = Some(
+                    it.next()
+                        .ok_or_else(|| "--coverage-out needs a path".to_owned())?
+                        .clone(),
+                )
+            }
             "--progress" => opts.progress = true,
             "--telemetry-out" => {
                 opts.telemetry_out = Some(
@@ -252,11 +267,21 @@ fn write_file(path: &str, contents: &str, what: &str) -> Result<(), String> {
     std::fs::write(path, contents).map_err(|e| format!("writing {what} to {path}: {e}"))
 }
 
+/// Suite-level coverage accumulator for `--coverage-out`: per-benchmark
+/// documents plus the aggregated site table (cartography doesn't sum
+/// across programs, so the aggregate drops it — same as table3).
+#[derive(Default)]
+struct CoverageAccum {
+    aggregate: jaaru::CoverageReport,
+    docs: Vec<Json>,
+}
+
 fn run_one(
     entry: &SuiteEntry,
     opts: &Options,
     tel: &Arc<Telemetry>,
     docs: &mut Vec<Json>,
+    cov: &mut Option<CoverageAccum>,
 ) -> Result<usize, String> {
     let program = (entry.program)();
     let mode = match (opts.mode, entry.mode) {
@@ -291,7 +316,14 @@ fn run_one(
                 print!("{}", render::render_explain(entry.name, i + 1, r));
             }
         }
+        if opts.coverage {
+            print!("{}", render::render_coverage(&report));
+        }
         println!();
+    }
+    if let Some(cov) = cov {
+        cov.aggregate.absorb_suite(report.coverage());
+        cov.docs.push(json::coverage_doc(entry.name, &report));
     }
     if let Some(path) = &opts.trace_out {
         let trace = report
@@ -347,6 +379,16 @@ fn main() -> ExitCode {
         mode: bench::SuiteMode::ModelCheck,
     });
     suite.push(SuiteEntry {
+        name: "x-stack",
+        program: || extras::pstack::program(extras::Variant::Racy),
+        mode: bench::SuiteMode::ModelCheck,
+    });
+    suite.push(SuiteEntry {
+        name: "x-stack-fixed",
+        program: || extras::pstack::program(extras::Variant::Fixed),
+        mode: bench::SuiteMode::ModelCheck,
+    });
+    suite.push(SuiteEntry {
         name: "x-pmemlog",
         program: pmdk::plog::program,
         mode: bench::SuiteMode::ModelCheck,
@@ -385,7 +427,8 @@ fn main() -> ExitCode {
     );
     let mut total = 0;
     let mut docs = Vec::new();
-    let mut run = |e: &SuiteEntry| match run_one(e, &opts, &tel, &mut docs) {
+    let mut cov = opts.coverage_out.as_ref().map(|_| CoverageAccum::default());
+    let mut run = |e: &SuiteEntry| match run_one(e, &opts, &tel, &mut docs, &mut cov) {
         Ok(n) => {
             total += n;
             true
@@ -425,6 +468,13 @@ fn main() -> ExitCode {
     }
     if opts.profile {
         eprint!("{}", tel.render_profile());
+    }
+    if let (Some(path), Some(cov)) = (&opts.coverage_out, cov) {
+        let doc = json::coverage_suite_json("yashme", &cov.aggregate, cov.docs);
+        if let Err(msg) = write_file(path, &format!("{}\n", doc.render()), "coverage") {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
     }
     if opts.json {
         println!("{}", json::suite_json(docs, total).render());
