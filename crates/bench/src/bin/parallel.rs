@@ -2,6 +2,16 @@
 //! (workers=1) vs parallel wall time per benchmark, verifying the reports
 //! are identical, and writes the results to `BENCH_parallel.json`.
 //!
+//! Two aggregates headline the document. `min_benchmark_speedup` is the
+//! worst per-benchmark parallel/sequential ratio — the suite-global
+//! scheduler's persistent pool must keep even the smallest benchmarks
+//! (whose suffix batches are too short to amortize thread spawns) at
+//! parity, so the trend gate holds this at ≥ 0.95. `overlap_total_s`
+//! times the whole suite submitted *concurrently* to the shared pool
+//! (one submitter per benchmark), the configuration the suite-global
+//! scheduler exists for: long-tail benchmarks overlap instead of
+//! barriering, and every report must still match its sequential run.
+//!
 //! Usage: `parallel [--workers N] [--no-fork] [--out PATH]` plus the
 //! shared telemetry flags (see `bench::cli`) — `--workers` defaults to 4
 //! (the configuration quoted in EXPERIMENTS.md); `--no-fork` disables
@@ -23,6 +33,9 @@ struct Row {
     sequential: Duration,
     parallel: Duration,
     identical: bool,
+    /// The sequential run's report signature, re-checked against the
+    /// overlapped-suite run of the same benchmark.
+    key: Vec<(yashme::ReportKind, &'static str)>,
 }
 
 fn timed_run(
@@ -38,6 +51,32 @@ fn timed_run(
     let start = Instant::now();
     let report = yashme::check_observed(&program, mode, YashmeConfig::default(), engine, tel);
     (report, start.elapsed())
+}
+
+/// Timing repeats per benchmark — single-shot timings at millisecond
+/// scale are noisy enough to swing a speedup ratio by ±30% on a shared
+/// host. The two configurations are interleaved within each repeat (not
+/// run in two blocks) so a host-load burst hits both sides of the ratio,
+/// and the best time per side is kept.
+const REPEATS: usize = 5;
+
+fn best_runs(
+    entry: &bench::SuiteEntry,
+    sequential_cfg: &EngineConfig,
+    parallel_cfg: &EngineConfig,
+    tel: &Arc<Telemetry>,
+) -> (RunReport, Duration, RunReport, Duration) {
+    let (mut seq_report, mut seq_best) = timed_run(entry, sequential_cfg, tel);
+    let (mut par_report, mut par_best) = timed_run(entry, parallel_cfg, tel);
+    for _ in 1..REPEATS {
+        let (r, d) = timed_run(entry, sequential_cfg, tel);
+        seq_best = seq_best.min(d);
+        seq_report = r;
+        let (r, d) = timed_run(entry, parallel_cfg, tel);
+        par_best = par_best.min(d);
+        par_report = r;
+    }
+    (seq_report, seq_best, par_report, par_best)
 }
 
 fn report_key(report: &RunReport) -> Vec<(yashme::ReportKind, &'static str)> {
@@ -65,8 +104,8 @@ fn main() {
     );
     let mut rows = Vec::new();
     for entry in evaluation_suite() {
-        let (seq_report, sequential) = timed_run(&entry, &sequential_cfg, &tel);
-        let (par_report, parallel) = timed_run(&entry, &parallel_cfg, &tel);
+        let (seq_report, sequential, par_report, parallel) =
+            best_runs(&entry, &sequential_cfg, &parallel_cfg, &tel);
         let identical = report_key(&seq_report) == report_key(&par_report)
             && seq_report.executions() == par_report.executions();
         println!(
@@ -83,18 +122,55 @@ fn main() {
             sequential,
             parallel,
             identical,
+            key: report_key(&seq_report),
         });
     }
+    // Suite overlap: every benchmark submits its suffix batches to the
+    // shared pool at once. The per-benchmark reports must still match the
+    // sequential runs — overlap moves scheduling, never results.
+    let overlap_start = Instant::now();
+    let overlap_keys: Vec<Vec<(yashme::ReportKind, &'static str)>> = {
+        let tel = &tel;
+        let parallel_cfg = &parallel_cfg;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = evaluation_suite()
+                .into_iter()
+                .map(|entry| {
+                    scope.spawn(move || {
+                        let (report, _) = timed_run(&entry, parallel_cfg, tel);
+                        report_key(&report)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("overlap submitter"))
+                .collect()
+        })
+    };
+    let overlap_total = overlap_start.elapsed();
+    let overlap_identical = rows
+        .iter()
+        .zip(&overlap_keys)
+        .all(|(row, key)| row.key == *key);
     drop(reporter);
     c.telemetry.finish(&tel);
 
     let total_seq: Duration = rows.iter().map(|r| r.sequential).sum();
     let total_par: Duration = rows.iter().map(|r| r.parallel).sum();
     let speedup = total_seq.as_secs_f64() / total_par.as_secs_f64().max(1e-9);
-    let all_identical = rows.iter().all(|r| r.identical);
+    let all_identical = rows.iter().all(|r| r.identical) && overlap_identical;
+    let min_benchmark_speedup = rows
+        .iter()
+        .map(|r| r.sequential.as_secs_f64() / r.parallel.as_secs_f64().max(1e-9))
+        .fold(f64::INFINITY, f64::min);
     println!();
     println!(
         "total: sequential {total_seq:.3?} vs parallel {total_par:.3?} ({speedup:.2}x), reports identical: {all_identical}"
+    );
+    println!(
+        "overlapped suite: {overlap_total:.3?} ({:.2}x vs sequential), worst per-benchmark speedup {min_benchmark_speedup:.2}x",
+        total_seq.as_secs_f64() / overlap_total.as_secs_f64().max(1e-9)
     );
 
     // serde is stubbed out in this offline build, so render the JSON by
@@ -117,6 +193,16 @@ fn main() {
         total_par.as_secs_f64()
     );
     let _ = writeln!(json, "  \"speedup\": {speedup:.3},");
+    let _ = writeln!(
+        json,
+        "  \"min_benchmark_speedup\": {min_benchmark_speedup:.3},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"overlap_total_s\": {:.6},",
+        overlap_total.as_secs_f64()
+    );
+    let _ = writeln!(json, "  \"overlap_identical\": {overlap_identical},");
     let _ = writeln!(json, "  \"reports_identical\": {all_identical},");
     json.push_str("  \"benchmarks\": [\n");
     for (i, row) in rows.iter().enumerate() {

@@ -1,6 +1,11 @@
-//! Perf-regression gate: compares a fresh soak/memperf run against the
-//! checked-in `BENCH_*.json` baselines and flags drops outside generous
-//! thresholds. Also hosts the coverage gate: a fresh table3
+//! Perf-regression gate: compares a fresh soak/memperf/parallel/vclock
+//! run against the checked-in `BENCH_*.json` baselines and flags drops
+//! outside generous thresholds. Two absolute floors ride along with the
+//! baseline-relative checks: no benchmark in `BENCH_parallel.json` may
+//! fall below 0.95x of its own sequential run (the suite-global
+//! scheduler's parity guarantee for small benchmarks), and
+//! `BENCH_vclock.json` must keep small-clock clone/join at 1.5x the
+//! legacy layout (the representation overhaul's reason to exist). Also hosts the coverage gate: a fresh table3
 //! `COVERAGE_baseline.json` is compared against the checked-in one, and
 //! the gate flags coverage *shrinking* (fewer sites, lower attribution,
 //! fewer persisted lines touched) or race exposure *growing* (more raced
@@ -159,6 +164,33 @@ fn bound(
     });
 }
 
+/// An absolute floor on a field of the *current* document — used for the
+/// ratios the benchmarks themselves compute (per-benchmark speedup,
+/// new/legacy throughput), which are already normalized against a
+/// same-run baseline and so carry a hard threshold instead of a
+/// baseline-relative one.
+fn abs_floor(checks: &mut Vec<Check>, current: &str, file: &str, key: &str, floor: f64) {
+    let c = field_f64(current, key);
+    let (pass, detail) = match c {
+        Some(c) => (
+            c >= floor,
+            if c >= floor {
+                format!("at or above floor {floor}")
+            } else {
+                format!("below floor {floor}")
+            },
+        ),
+        None => (false, "missing field".to_owned()),
+    };
+    checks.push(Check {
+        name: format!("{file}:{key}"),
+        baseline: Some(floor),
+        current: c,
+        pass,
+        detail,
+    });
+}
+
 /// Both documents must carry the same schema version; a mismatch means
 /// the comparison itself is meaningless, so it fails the gate.
 fn schema(checks: &mut Vec<Check>, baseline: &str, current: &str, file: &str) {
@@ -201,6 +233,8 @@ fn main() {
     for file in [
         "BENCH_soak.json",
         "BENCH_memperf.json",
+        "BENCH_parallel.json",
+        "BENCH_vclock.json",
         "COVERAGE_baseline.json",
     ] {
         let baseline = std::fs::read_to_string(format!("{baseline_dir}/{file}"));
@@ -222,6 +256,15 @@ fn main() {
                     file,
                     "sustained_events_per_s",
                 );
+            }
+            "BENCH_parallel.json" => {
+                invariant(&mut checks, &current, file, "reports_identical");
+                invariant(&mut checks, &current, file, "overlap_identical");
+                abs_floor(&mut checks, &current, file, "min_benchmark_speedup", 0.95);
+            }
+            "BENCH_vclock.json" => {
+                invariant(&mut checks, &current, file, "outcomes_identical");
+                abs_floor(&mut checks, &current, file, "min_small_ratio", 1.5);
             }
             "COVERAGE_baseline.json" => {
                 // The aggregate summary leads the document, so the first
@@ -280,7 +323,7 @@ fn main() {
     let mut json = String::from("{\n");
     json.push_str(&cli::meta_header(
         "trend",
-        "perf-regression gate over soak + memperf baselines, coverage gate over table3",
+        "perf-regression gate over soak/memperf/parallel/vclock baselines, coverage gate over table3",
         None,
     ));
     let _ = writeln!(json, "  \"strict\": {strict},");
@@ -344,6 +387,30 @@ mod tests {
         assert!(checks[6..].iter().all(|c| !c.pass), "shrank must fail");
         floor(&mut checks, base, "{}", "f", "sites");
         assert!(!checks.last().unwrap().pass, "missing field fails");
+    }
+
+    #[test]
+    fn absolute_floors_gate_the_current_document_only() {
+        let mut checks = Vec::new();
+        abs_floor(
+            &mut checks,
+            "{\"min_benchmark_speedup\": 0.993,}",
+            "f",
+            "min_benchmark_speedup",
+            0.95,
+        );
+        abs_floor(
+            &mut checks,
+            "{\"min_benchmark_speedup\": 0.874,}",
+            "f",
+            "min_benchmark_speedup",
+            0.95,
+        );
+        abs_floor(&mut checks, "{}", "f", "min_small_ratio", 1.5);
+        assert!(checks[0].pass, "{}", checks[0].detail);
+        assert!(!checks[1].pass, "{}", checks[1].detail);
+        assert!(!checks[2].pass, "missing field fails");
+        assert_eq!(checks[0].baseline, Some(0.95), "floor shown as baseline");
     }
 
     #[test]

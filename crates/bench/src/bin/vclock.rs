@@ -1,0 +1,289 @@
+//! Microbenchmark for the vector-clock representation overhaul: replays
+//! identical deterministic clone/join/leq workloads through the inline
+//! small-vector [`vclock::VectorClock`] and through the pre-overhaul
+//! `Vec`-backed [`vclock::legacy::VectorClock`] oracle, reports throughput
+//! for each at 2-, 4-, and 16-thread clock widths, and writes
+//! `BENCH_vclock.json`.
+//!
+//! Every workload folds its observable results (component values, leq
+//! verdicts) into a checksum; a mismatch between the two implementations
+//! means the representations diverged semantically and the run exits
+//! nonzero. The workload shapes mirror the detector's hot paths:
+//!
+//! * **clone** — snapshotting a thread's clock into a store/flush event
+//!   (`StoreEvent { cv: cvs[t].clone() }`), the single most frequent clock
+//!   operation in a run;
+//! * **join** — message-style absorption: a fresh clock joins a small
+//!   window of peer clocks, the way `CVpre` and fence clocks accumulate;
+//!   the first join into an empty clock is the storage-sharing fast path;
+//! * **leq** — the flushmap dominance checks guarding every join on the
+//!   detector path (`if !store.cv.leq(lf)`), over pairs that mix ordered
+//!   and concurrent clocks so both verdicts are exercised.
+//!
+//! The headline `min_small_ratio` is the worst new/legacy throughput ratio
+//! over the clone and join workloads at widths ≤ 4 — the inline-capacity
+//! regime the overhaul targets (simulated programs in the suite run 1–4
+//! threads). The trend gate holds it at ≥ 1.5x.
+//!
+//! Usage: `vclock [--rounds N] [--out PATH]` — `--rounds` scales every
+//! workload (default 20000); `--out` defaults to `BENCH_vclock.json`.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use bench::cli;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vclock::{legacy, Clock, ThreadId, VectorClock};
+
+/// Clocks per pool; every workload walks the whole pool each round.
+const POOL: usize = 64;
+
+/// Peer-clock window absorbed into each fresh accumulator in the join
+/// workload (the detector's `CVpre` joins a handful of store clocks per
+/// candidate, not the whole history).
+const JOIN_WINDOW: usize = 4;
+
+/// The inline-capacity boundary of the new representation: ratios at or
+/// below this width feed `min_small_ratio`.
+const SMALL_WIDTH: usize = 4;
+
+/// The two implementations expose byte-for-byte identical inherent APIs;
+/// this trait is the thin bridge that lets one generic workload drive
+/// both.
+trait Vc: Clone {
+    fn empty() -> Self;
+    fn set(&mut self, t: ThreadId, c: Clock);
+    fn get(&self, t: ThreadId) -> Clock;
+    fn join(&mut self, other: &Self);
+    fn leq(&self, other: &Self) -> bool;
+}
+
+macro_rules! impl_vc {
+    ($ty:ty) => {
+        impl Vc for $ty {
+            fn empty() -> Self {
+                <$ty>::new()
+            }
+            fn set(&mut self, t: ThreadId, c: Clock) {
+                <$ty>::set(self, t, c)
+            }
+            fn get(&self, t: ThreadId) -> Clock {
+                <$ty>::get(self, t)
+            }
+            fn join(&mut self, other: &Self) {
+                <$ty>::join(self, other)
+            }
+            fn leq(&self, other: &Self) -> bool {
+                <$ty>::leq(self, other)
+            }
+        }
+    };
+}
+
+impl_vc!(VectorClock);
+impl_vc!(legacy::VectorClock);
+
+/// Deterministic pool of `POOL` clocks of the given width. Every clock
+/// gets a value in each component (the engine ticks every live thread),
+/// and each clock `2k+1` additionally dominates clock `2k` so the leq
+/// workload sees true verdicts as well as concurrent rejections.
+fn build_pool<V: Vc>(width: usize, rng: &mut StdRng) -> Vec<V> {
+    let mut pool: Vec<V> = Vec::with_capacity(POOL);
+    for i in 0..POOL {
+        let mut cv = if i % 2 == 1 {
+            // Dominate the previous clock, then advance one component.
+            pool[i - 1].clone()
+        } else {
+            V::empty()
+        };
+        for t in 0..width {
+            let bump: Clock = rng.gen_range(1..100);
+            let base = cv.get(ThreadId::new(t as u32));
+            cv.set(ThreadId::new(t as u32), base + bump);
+        }
+        pool.push(cv);
+    }
+    pool
+}
+
+/// Event-snapshot workload: clone every pool clock, observing one
+/// component per clone so the optimizer keeps the copies.
+fn bench_clone<V: Vc>(pool: &[V], width: usize, rounds: usize) -> (u64, Duration, usize) {
+    let mut sum = 0u64;
+    let start = Instant::now();
+    for _ in 0..rounds {
+        for (i, cv) in pool.iter().enumerate() {
+            let snap = cv.clone();
+            sum = sum.wrapping_add(snap.get(ThreadId::new((i % width) as u32)));
+        }
+    }
+    (sum, start.elapsed(), rounds * POOL)
+}
+
+/// Message-absorption workload: a fresh accumulator per window joins
+/// `JOIN_WINDOW` peer clocks, then contributes its components to the
+/// checksum.
+fn bench_join<V: Vc>(pool: &[V], width: usize, rounds: usize) -> (u64, Duration, usize) {
+    let mut sum = 0u64;
+    let mut joins = 0usize;
+    let start = Instant::now();
+    for _ in 0..rounds {
+        for window in pool.chunks(JOIN_WINDOW) {
+            let mut acc = V::empty();
+            for cv in window {
+                acc.join(cv);
+                joins += 1;
+            }
+            for t in 0..width {
+                sum = sum.wrapping_add(acc.get(ThreadId::new(t as u32)));
+            }
+        }
+    }
+    (sum, start.elapsed(), joins)
+}
+
+/// Dominance-check workload: compare each pool clock against a shifted
+/// partner; the stride-1 pairing hits the constructed `2k ≤ 2k+1` edges
+/// (true verdicts) and the concurrent remainder (false verdicts).
+fn bench_leq<V: Vc>(pool: &[V], rounds: usize) -> (u64, Duration, usize) {
+    let mut sum = 0u64;
+    let start = Instant::now();
+    for _ in 0..rounds {
+        for i in 0..pool.len() {
+            let j = (i + 1) % pool.len();
+            sum = sum.wrapping_add(u64::from(pool[i].leq(&pool[j])));
+            sum = sum.wrapping_add(u64::from(pool[j].leq(&pool[i])));
+        }
+    }
+    (sum, start.elapsed(), rounds * POOL * 2)
+}
+
+fn run_once<V: Vc>(pool: &[V], op: &str, width: usize, rounds: usize) -> (u64, Duration, usize) {
+    match op {
+        "clone" => bench_clone(pool, width, rounds),
+        "join" => bench_join(pool, width, rounds),
+        "leq" => bench_leq(pool, rounds),
+        _ => unreachable!("unknown op {op}"),
+    }
+}
+
+/// One (width, op) measurement over both implementations: checksums,
+/// best-of-5 throughput for each in million ops per second. The two
+/// implementations alternate within each repeat (rather than running in
+/// two blocks) so a host-load burst hits both sides of the ratio.
+fn measure_pair(op: &str, width: usize, rounds: usize, seed: u64) -> (u64, f64, u64, f64) {
+    let new_pool: Vec<VectorClock> = build_pool(width, &mut StdRng::seed_from_u64(seed));
+    let old_pool: Vec<legacy::VectorClock> = build_pool(width, &mut StdRng::seed_from_u64(seed));
+    let _ = run_once(&new_pool, op, width, rounds); // warm-up
+    let _ = run_once(&old_pool, op, width, rounds);
+    let (mut new_sum, mut old_sum) = (0u64, 0u64);
+    let (mut new_best, mut old_best) = (Duration::MAX, Duration::MAX);
+    let mut ops = 0usize;
+    for _ in 0..5 {
+        let (s, d, n) = run_once(&new_pool, op, width, rounds);
+        new_sum = s;
+        ops = n;
+        new_best = new_best.min(d);
+        let (s, d, _) = run_once(&old_pool, op, width, rounds);
+        old_sum = s;
+        old_best = old_best.min(d);
+    }
+    let mops = |d: Duration| ops as f64 / d.as_secs_f64().max(1e-9) / 1e6;
+    (new_sum, mops(new_best), old_sum, mops(old_best))
+}
+
+struct Row {
+    threads: usize,
+    op: &'static str,
+    legacy_mops: f64,
+    new_mops: f64,
+    ratio: f64,
+    identical: bool,
+}
+
+fn main() {
+    let c = cli::common_args();
+    let mut rounds = 20000usize;
+    let out = c.out_or("BENCH_vclock.json");
+    let mut rest = c.rest.iter();
+    while let Some(arg) = rest.next() {
+        if arg == "--rounds" {
+            rounds = rest.next().and_then(|v| v.parse().ok()).unwrap_or(rounds);
+        }
+    }
+    const SEED: u64 = 0x5ec7_0c1c;
+
+    println!("Vector-clock microbenchmark: {rounds} rounds, pool {POOL}, seed {SEED:#x}");
+    println!();
+    println!(
+        "{:<8}\t{:<6}\t{:>12}\t{:>12}\tRatio\tIdentical",
+        "Threads", "Op", "Legacy Mop/s", "New Mop/s"
+    );
+    let mut rows = Vec::new();
+    for &width in &[2usize, 4, 16] {
+        for op in ["clone", "join", "leq"] {
+            let seed = SEED ^ (width as u64) << 8;
+            let (new_sum, new_mops, legacy_sum, legacy_mops) =
+                measure_pair(op, width, rounds, seed);
+            let identical = new_sum == legacy_sum;
+            let ratio = new_mops / legacy_mops.max(1e-9);
+            println!(
+                "{width:<8}\t{op:<6}\t{legacy_mops:>12.1}\t{new_mops:>12.1}\t{ratio:.2}x\t{identical}"
+            );
+            rows.push(Row {
+                threads: width,
+                op,
+                legacy_mops,
+                new_mops,
+                ratio,
+                identical,
+            });
+        }
+    }
+
+    let identical = rows.iter().all(|r| r.identical);
+    let min_small_ratio = rows
+        .iter()
+        .filter(|r| r.threads <= SMALL_WIDTH && matches!(r.op, "clone" | "join"))
+        .map(|r| r.ratio)
+        .fold(f64::INFINITY, f64::min);
+    println!();
+    println!(
+        "min small-clock clone/join ratio (≤{SMALL_WIDTH} threads): {min_small_ratio:.2}x, \
+         outcomes identical: {identical}"
+    );
+
+    // serde is stubbed out in this offline build; render the JSON by hand.
+    let mut json = String::from("{\n");
+    json.push_str(&cli::meta_header(
+        "vclock",
+        "clone/join/leq microbench over 2/4/16-thread clocks (inline small-vec vs legacy Vec)",
+        None,
+    ));
+    let _ = writeln!(json, "  \"rounds\": {rounds},");
+    let _ = writeln!(json, "  \"pool\": {POOL},");
+    let _ = writeln!(json, "  \"seed\": {SEED},");
+    let _ = writeln!(json, "  \"min_small_ratio\": {min_small_ratio:.3},");
+    let _ = writeln!(json, "  \"outcomes_identical\": {identical},");
+    json.push_str("  \"results\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"threads\": {}, \"op\": \"{}\", \"legacy_mops\": {:.3}, \"new_mops\": {:.3}, \"ratio\": {:.3}, \"identical\": {}}}{}",
+            row.threads,
+            row.op,
+            row.legacy_mops,
+            row.new_mops,
+            row.ratio,
+            row.identical,
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out, json).expect("write benchmark json");
+    println!("wrote {out}");
+    if !identical {
+        std::process::exit(1);
+    }
+}

@@ -10,7 +10,7 @@
 //! sorted by `(kind, label)` regardless of worker count.
 
 use std::collections::{HashMap, HashSet};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use obs::telemetry::{Telemetry, WallPhase, WorkerStat};
@@ -19,6 +19,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::ctx::spawn_task;
 use crate::mem::{MemState, PersistencePolicy};
+use crate::pool;
 use crate::report::{ForkStats, GcStats, PruneStats, RaceReport, RunReport};
 use crate::sched::{Core, CrashCtl, PointRecord, SchedPolicy, Shared, Snapshot, SnapshotLog};
 use crate::sink::{EventSink, GcParanoidSink, NullSink, SpanTraceSink};
@@ -530,6 +531,7 @@ impl Engine {
                 let phase0_points = profile.points.first().copied().unwrap_or(0);
                 let phase1_points = profile.points.get(1).copied().unwrap_or(0);
                 let profile_points = profile.points.clone();
+                let profile_events = profile.stats.events();
                 acc.absorb_run(profile);
 
                 // One run per crash target, in target order. With sampling,
@@ -571,26 +573,42 @@ impl Engine {
                                 program,
                                 log,
                                 &profile_points,
+                                profile_events,
                                 profile_spec.persistence,
                                 workers,
                                 &mut acc,
                                 tel,
                             );
                         } else {
+                            // Estimate each suffix's cost as the events the
+                            // profiling run executed *after* its crash point
+                            // — the scheduler buckets small suffixes into
+                            // chunks from these.
+                            let costs: Vec<u64> = log
+                                .records
+                                .iter()
+                                .map(|r| r.suffix_cost(profile_events))
+                                .collect();
                             let runs = {
                                 let _t = tel.time(WallPhase::SuffixResume);
-                                Self::fan_out(log.snaps, workers, tel, |snap| {
-                                    let run = Self::resume_run(
-                                        program,
-                                        snap,
-                                        &profile_points,
-                                        profile_spec.persistence,
-                                    );
-                                    tel.suffix_resumed();
-                                    tel.add_points_done(1);
-                                    tel.execution_done();
-                                    run
-                                })
+                                Self::fan_out_weighted(
+                                    log.snaps,
+                                    Some(costs),
+                                    workers,
+                                    tel,
+                                    |snap| {
+                                        let run = Self::resume_run(
+                                            program,
+                                            snap,
+                                            &profile_points,
+                                            profile_spec.persistence,
+                                        );
+                                        tel.suffix_resumed();
+                                        tel.add_points_done(1);
+                                        tel.execution_done();
+                                        run
+                                    },
+                                )
                             };
                             let _t = tel.time(WallPhase::Merge);
                             for run in runs {
@@ -837,6 +855,7 @@ impl Engine {
         program: &Program,
         log: SnapshotLog,
         profile_points: &[usize],
+        profile_events: u64,
         persistence: PersistencePolicy,
         workers: usize,
         acc: &mut RunAccumulator,
@@ -851,12 +870,26 @@ impl Engine {
         let classes = Self::class_ranges(&records);
         acc.prune.classes += classes.len() as u64;
         acc.prune.representatives += classes.len() as u64;
+        // Suffix-cost estimates for the scheduler's chunking, index-aligned
+        // with `snaps`: one per class representative normally, one per
+        // point under paranoia.
+        let costs: Vec<u64> = if paranoid {
+            records
+                .iter()
+                .map(|r| r.suffix_cost(profile_events))
+                .collect()
+        } else {
+            classes
+                .iter()
+                .map(|&(start, _)| records[start].suffix_cost(profile_events))
+                .collect()
+        };
         // Without paranoia, snapshot k is class k's representative; with
         // it, snapshot i is point i — either way the resumed runs come
         // back in class order, representative first.
         let runs = {
             let _t = tel.time(WallPhase::SuffixResume);
-            Self::fan_out(snaps, workers, tel, |snap| {
+            Self::fan_out_weighted(snaps, Some(costs), workers, tel, |snap| {
                 let run = Self::resume_run(program, snap, profile_points, persistence);
                 // Every physically resumed suffix completes one crash point
                 // (a representative here, or every point under paranoia).
@@ -1231,14 +1264,33 @@ impl Engine {
 
     /// The worker pool: applies `job` to every item, returning results in
     /// item order. Sequential when `workers <= 1` or there is at most one
-    /// item; otherwise `min(workers, items)` scoped threads drain an MPMC
-    /// work queue.
+    /// item; otherwise the batch goes to the suite-global work-stealing
+    /// scheduler ([`crate::pool`]) with uniform cost estimates.
     ///
-    /// When `tel` is enabled, each pool thread records its busy (in-job)
-    /// and idle (blocked on the queue) wall time — the queue-stall number
-    /// behind the `--profile` worker-utilization line. This is pure
-    /// observation: job order, results, and merging are unaffected.
-    fn fan_out<T, R, F>(items: Vec<T>, workers: usize, tel: &Telemetry, job: F) -> Vec<R>
+    /// When `tel` is enabled, per-lane busy/idle wall time is recorded —
+    /// the queue-stall number behind the `--profile` worker-utilization
+    /// line. This is pure observation: job order, results, and merging are
+    /// unaffected.
+    fn fan_out<T, R, F>(items: Vec<T>, workers: usize, tel: &Arc<Telemetry>, job: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        Self::fan_out_weighted(items, None, workers, tel, job)
+    }
+
+    /// [`Engine::fan_out`] with optional per-item cost estimates (simulated
+    /// event counts) that the scheduler uses to bucket consecutive items
+    /// into chunks of roughly equal cost. Estimates never influence
+    /// results — only how work is grouped and distributed.
+    fn fan_out_weighted<T, R, F>(
+        items: Vec<T>,
+        costs: Option<Vec<u64>>,
+        workers: usize,
+        tel: &Arc<Telemetry>,
+        job: F,
+    ) -> Vec<R>
     where
         T: Send,
         R: Send,
@@ -1264,49 +1316,7 @@ impl Engine {
             });
             return results;
         }
-        let pool = workers.min(items.len());
-        let mut slots: Vec<Option<R>> = Vec::new();
-        slots.resize_with(items.len(), || None);
-        let slots = Mutex::new(slots);
-        let (tx, rx) = crossbeam::channel::unbounded();
-        for indexed in items.into_iter().enumerate() {
-            if tx.send(indexed).is_err() {
-                unreachable!("queue open while filling");
-            }
-        }
-        drop(tx);
-        std::thread::scope(|scope| {
-            for _ in 0..pool {
-                let rx = rx.clone();
-                let slots = &slots;
-                let job = &job;
-                scope.spawn(move || {
-                    let mut busy = Duration::ZERO;
-                    let mut idle = Duration::ZERO;
-                    let mut jobs = 0u64;
-                    let mut wait = Instant::now();
-                    while let Ok((index, item)) = rx.recv() {
-                        idle += wait.elapsed();
-                        let t0 = Instant::now();
-                        let result = job(item);
-                        busy += t0.elapsed();
-                        jobs += 1;
-                        slots.lock().expect("result slots")[index] = Some(result);
-                        wait = Instant::now();
-                    }
-                    idle += wait.elapsed();
-                    if tel.enabled() {
-                        tel.record_worker(WorkerStat { busy, idle, jobs });
-                    }
-                });
-            }
-        });
-        slots
-            .into_inner()
-            .expect("result slots")
-            .into_iter()
-            .map(|slot| slot.expect("worker filled every slot"))
-            .collect()
+        pool::global().run_batch(items, costs.as_deref(), workers, tel, job)
     }
 
     /// [`Engine::run_single`] plus schedule scripting and snapshot capture:

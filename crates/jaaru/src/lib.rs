@@ -47,6 +47,7 @@ mod ctx;
 mod engine;
 mod event;
 mod mem;
+pub mod pool;
 mod program;
 pub mod refmodel;
 mod report;

@@ -122,6 +122,38 @@ pub struct WorkerStat {
     pub jobs: u64,
 }
 
+/// Counters of the suite-global work-stealing scheduler.
+///
+/// `jobs` and `batches` are deterministic functions of the engine
+/// configuration (chunking derives from profile-run cost estimates);
+/// `steals` and `queue_depth` depend on thread timing, which is why all
+/// four live in this plane and never in the deterministic metrics
+/// registry or `--json`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedCounters {
+    /// Individual jobs submitted (one per crash-point suffix, run spec, …).
+    pub jobs: u64,
+    /// Cost-bucketed chunks those jobs were batched into.
+    pub batches: u64,
+    /// Chunks executed by a lane other than their home lane.
+    pub steals: u64,
+    /// High-water mark of chunks queued at submission time.
+    pub queue_depth: u64,
+}
+
+impl SchedCounters {
+    /// Counter-wise difference (`queue_depth` is a gauge: the later
+    /// high-water mark wins), for per-benchmark deltas of a shared handle.
+    pub fn minus(&self, earlier: &SchedCounters) -> SchedCounters {
+        SchedCounters {
+            jobs: self.jobs.saturating_sub(earlier.jobs),
+            batches: self.batches.saturating_sub(earlier.batches),
+            steals: self.steals.saturating_sub(earlier.steals),
+            queue_depth: self.queue_depth,
+        }
+    }
+}
+
 /// One point of the ring-buffer time series.
 #[derive(Debug, Clone)]
 pub struct TelemetrySample {
@@ -176,6 +208,10 @@ pub struct Telemetry {
     suffixes_resumed: AtomicU64,
     suffixes_pruned: AtomicU64,
     live_slots: AtomicU64,
+    sched_jobs: AtomicU64,
+    sched_batches: AtomicU64,
+    sched_steals: AtomicU64,
+    sched_queue_depth: AtomicU64,
     workers: Mutex<Vec<WorkerStat>>,
     ring: Mutex<Ring>,
 }
@@ -220,6 +256,10 @@ impl Telemetry {
             suffixes_resumed: AtomicU64::new(0),
             suffixes_pruned: AtomicU64::new(0),
             live_slots: AtomicU64::new(0),
+            sched_jobs: AtomicU64::new(0),
+            sched_batches: AtomicU64::new(0),
+            sched_steals: AtomicU64::new(0),
+            sched_queue_depth: AtomicU64::new(0),
             workers: Mutex::new(Vec::new()),
             ring: Mutex::new(Ring {
                 samples: VecDeque::new(),
@@ -329,6 +369,33 @@ impl Telemetry {
     pub fn record_worker(&self, stat: WorkerStat) {
         if self.enabled {
             self.workers.lock().expect("worker stats").push(stat);
+        }
+    }
+
+    /// Records one scheduler batch: `jobs` items bucketed into `chunks`
+    /// cost-balanced chunks, with `depth` chunks queued at submission.
+    pub fn add_sched_batch(&self, jobs: u64, chunks: u64, depth: u64) {
+        if self.enabled {
+            self.sched_jobs.fetch_add(jobs, Ordering::Relaxed);
+            self.sched_batches.fetch_add(chunks, Ordering::Relaxed);
+            self.sched_queue_depth.fetch_max(depth, Ordering::Relaxed);
+        }
+    }
+
+    /// Records `n` chunks executed away from their home lane.
+    pub fn add_sched_steals(&self, n: u64) {
+        if self.enabled && n > 0 {
+            self.sched_steals.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// The scheduler counters recorded so far.
+    pub fn sched_counters(&self) -> SchedCounters {
+        SchedCounters {
+            jobs: self.sched_jobs.load(Ordering::Relaxed),
+            batches: self.sched_batches.load(Ordering::Relaxed),
+            steals: self.sched_steals.load(Ordering::Relaxed),
+            queue_depth: self.sched_queue_depth.load(Ordering::Relaxed),
         }
     }
 
@@ -568,6 +635,25 @@ impl Telemetry {
             "yashme_live_slots {}",
             self.live_slots.load(Ordering::Relaxed)
         );
+        let sched = self.sched_counters();
+        out.push_str("# HELP yashme_sched_jobs_total Jobs submitted to the work-stealing scheduler.\n");
+        out.push_str("# TYPE yashme_sched_jobs_total counter\n");
+        let _ = writeln!(out, "yashme_sched_jobs_total {}", sched.jobs);
+        out.push_str(
+            "# HELP yashme_sched_batches_total Cost-bucketed chunks submitted to the scheduler.\n",
+        );
+        out.push_str("# TYPE yashme_sched_batches_total counter\n");
+        let _ = writeln!(out, "yashme_sched_batches_total {}", sched.batches);
+        out.push_str(
+            "# HELP yashme_sched_steals_total Chunks executed away from their home lane.\n",
+        );
+        out.push_str("# TYPE yashme_sched_steals_total counter\n");
+        let _ = writeln!(out, "yashme_sched_steals_total {}", sched.steals);
+        out.push_str(
+            "# HELP yashme_sched_queue_depth High-water mark of queued chunks at submission.\n",
+        );
+        out.push_str("# TYPE yashme_sched_queue_depth gauge\n");
+        let _ = writeln!(out, "yashme_sched_queue_depth {}", sched.queue_depth);
         out.push_str(
             "# HELP yashme_worker_busy_seconds_total Seconds each pool worker spent in jobs.\n",
         );
@@ -676,6 +762,14 @@ impl Telemetry {
                 workers.len(),
                 busy,
                 idle
+            );
+        }
+        let sched = self.sched_counters();
+        if sched.batches > 0 {
+            let _ = writeln!(
+                out,
+                "  sched: {} job(s) in {} chunk(s), {} stolen; peak queue {}",
+                sched.jobs, sched.batches, sched.steals, sched.queue_depth
             );
         }
         out

@@ -29,6 +29,7 @@
 //! ```
 
 mod clock;
+pub mod legacy;
 mod vector;
 
 pub use clock::{Clock, Seq, SeqCounter, ThreadId};

@@ -1,5 +1,213 @@
-//! Offline stub of `crossbeam`: the `channel` module only, enough for the
-//! engine's multi-producer/multi-consumer work queues.
+//! Offline stub of `crossbeam`: the `channel` and `deque` modules, enough
+//! for the engine's multi-producer/multi-consumer work queues and the
+//! suite-global work-stealing scheduler.
+
+pub mod deque {
+    //! Work-stealing deques over a `Mutex<VecDeque>`.
+    //!
+    //! API shape matches `crossbeam-deque` where the workspace uses it:
+    //! a [`Worker`] deque owned by one pool lane, [`Stealer`] handles that
+    //! other lanes use to take work from it, a shared [`Injector`] for
+    //! submitted batches, and the [`Steal`] result triple. The lock-free
+    //! Chase-Lev machinery of the real crate is replaced by a mutex; the
+    //! scheduler's unit of work is a whole cost-bucketed chunk, so queue
+    //! operations are far off the hot path and a mutex is plenty.
+    //!
+    //! One deliberate simplification: the stub's [`Worker`] is `Sync` (the
+    //! real one is owner-only), which lets the scheduler keep every lane in
+    //! one vector. "Owner pops, others steal" remains a convention enforced
+    //! by the scheduler, not the type system.
+
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex, PoisonError};
+
+    /// Outcome of a steal attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The queue was empty.
+        Empty,
+        /// One task was stolen.
+        Success(T),
+        /// The attempt lost a race and may be retried. The mutex-backed
+        /// stub never loses races; the variant exists for API parity.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// Returns the stolen task, if any.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                _ => None,
+            }
+        }
+
+        /// Whether the queue was observed empty.
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+    }
+
+    fn lock<T>(q: &Mutex<VecDeque<T>>) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        q.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// A FIFO deque owned by one scheduler lane.
+    pub struct Worker<T> {
+        inner: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Worker<T> {
+        /// Creates an empty FIFO worker deque.
+        pub fn new_fifo() -> Self {
+            Worker {
+                inner: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+
+        /// Pushes a task onto the deque.
+        pub fn push(&self, task: T) {
+            lock(&self.inner).push_back(task);
+        }
+
+        /// Pops the next task in FIFO order.
+        pub fn pop(&self) -> Option<T> {
+            lock(&self.inner).pop_front()
+        }
+
+        /// Number of queued tasks.
+        pub fn len(&self) -> usize {
+            lock(&self.inner).len()
+        }
+
+        /// Whether the deque is empty.
+        pub fn is_empty(&self) -> bool {
+            lock(&self.inner).is_empty()
+        }
+
+        /// Creates a steal handle onto this deque.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    /// A handle other lanes use to steal from a [`Worker`] deque.
+    pub struct Stealer<T> {
+        inner: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Steals the oldest task from the owning worker's deque.
+        pub fn steal(&self) -> Steal<T> {
+            match lock(&self.inner).pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+    }
+
+    /// A shared FIFO queue that batches enter the scheduler through.
+    pub struct Injector<T> {
+        inner: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Injector::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        /// Creates an empty injector.
+        pub fn new() -> Self {
+            Injector {
+                inner: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Enqueues a task.
+        pub fn push(&self, task: T) {
+            lock(&self.inner).push_back(task);
+        }
+
+        /// Steals one task.
+        pub fn steal(&self) -> Steal<T> {
+            match lock(&self.inner).pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Steals up to half the queue (capped like the real crate) into
+        /// `dest`, returning one task to run immediately.
+        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+            let mut q = lock(&self.inner);
+            let first = match q.pop_front() {
+                Some(t) => t,
+                None => return Steal::Empty,
+            };
+            let extra = (q.len() / 2).min(32);
+            for _ in 0..extra {
+                match q.pop_front() {
+                    Some(t) => dest.push(t),
+                    None => break,
+                }
+            }
+            Steal::Success(first)
+        }
+
+        /// Number of queued tasks.
+        pub fn len(&self) -> usize {
+            lock(&self.inner).len()
+        }
+
+        /// Whether the injector is empty.
+        pub fn is_empty(&self) -> bool {
+            lock(&self.inner).is_empty()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn worker_is_fifo_and_stealable() {
+            let w = Worker::new_fifo();
+            let s = w.stealer();
+            w.push(1);
+            w.push(2);
+            w.push(3);
+            assert_eq!(w.pop(), Some(1));
+            assert_eq!(s.steal().success(), Some(2));
+            assert_eq!(w.pop(), Some(3));
+            assert!(s.steal().is_empty());
+        }
+
+        #[test]
+        fn injector_batch_steal_moves_half() {
+            let inj = Injector::new();
+            for i in 0..9 {
+                inj.push(i);
+            }
+            let w = Worker::new_fifo();
+            assert_eq!(inj.steal_batch_and_pop(&w).success(), Some(0));
+            // 8 remained; half (4) moved to the worker.
+            assert_eq!(w.len(), 4);
+            assert_eq!(inj.len(), 4);
+        }
+    }
+}
 
 pub mod channel {
     //! MPMC channels over a `Mutex<VecDeque>` + `Condvar`.
